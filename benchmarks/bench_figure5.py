@@ -1,0 +1,34 @@
+"""Figures 5(a) and 5(b) — Echo/Interactive total time vs HB interval.
+
+Expected shape: the with-failure curve grows roughly linearly in the
+heartbeat interval while the no-failure curve stays flat (§6.2,
+"the failover time is directly dependent on the HB interval").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import figure5, format_figure5
+
+from benchmarks.conftest import run_once
+
+#: Reduced sweep for the default benchmark run.
+QUICK_SWEEP = (0.05, 0.2, 0.5, 1.0)
+
+
+@pytest.mark.parametrize("application", ["echo", "interactive"], ids=["5a", "5b"])
+def test_figure5(benchmark, scale, application):
+    points = run_once(
+        benchmark, lambda: figure5(application, scale, hb_sweep=QUICK_SWEEP)
+    )
+    print()
+    print(format_figure5(points, application))
+    # No-failure curve flat; with-failure curve increasing.
+    no_failure = [p["no_failure_time"] for p in points]
+    assert max(no_failure) - min(no_failure) < 0.1 * max(no_failure) + 0.05
+    with_failure = [p["failure_time"] for p in points]
+    assert with_failure[-1] > with_failure[0]
+    # Failover grows at least linearly with HB across the sweep ends.
+    ratio = points[-1]["failover_time"] / points[0]["failover_time"]
+    assert ratio > (QUICK_SWEEP[-1] / QUICK_SWEEP[0]) * 0.3

@@ -1,0 +1,34 @@
+"""Figure 6 — Bulk transfer total time vs size, with and without failover.
+
+Expected shape: both curves grow linearly in the transfer size, offset by
+an approximately size-independent failover gap; at short HB intervals the
+gap is "insignificant compared to the total time taken" (§6.2).
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiments import figure6, format_figure6
+
+from benchmarks.conftest import run_once
+
+
+def test_figure6(benchmark, scale):
+    points = run_once(benchmark, lambda: figure6(scale, hb_grid=(0.05, 0.2)))
+    print()
+    print(format_figure6(points))
+    by_hb = {}
+    for point in points:
+        by_hb.setdefault(point["hb"], []).append(point)
+    for hb, series in by_hb.items():
+        series.sort(key=lambda p: p["size"])
+        # Monotonic growth in size for both curves.
+        no_failure = [p["no_failure_time"] for p in series]
+        with_failure = [p["failure_time"] for p in series]
+        assert no_failure == sorted(no_failure)
+        assert all(w > n for w, n in zip(with_failure, no_failure))
+        # The failover gap does not grow with the size.
+        gaps = [p["failover_time"] for p in series]
+        assert max(gaps) < min(gaps) + 4 * hb + 2.0
+    # At 50 ms HB, the gap is a small fraction of the largest transfer.
+    largest = max(by_hb[0.05], key=lambda p: p["size"])
+    assert largest["failover_time"] < largest["no_failure_time"]

@@ -1,0 +1,48 @@
+"""Table 1 — failure-free total time: standard TCP vs ST-TCP.
+
+Regenerates the paper's Table 1 rows (§6.1).  Expected shape: every
+ST-TCP row matches the Standard TCP row to well under 1% for every
+application and every heartbeat interval — "ST-TCP does not incur any
+performance overhead over the standard TCP".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.workload import bulk_workload, echo_workload, interactive_workload
+from repro.harness.experiments import format_table1, table1
+from repro.harness.runner import run_workload
+from repro.sttcp.config import STTCPConfig
+from repro.util.units import MB
+
+from benchmarks.conftest import run_once
+
+
+def test_table1_full(benchmark, scale):
+    """The whole table, printed in the paper's layout."""
+    records = run_once(benchmark, lambda: table1(scale))
+    print()
+    print(format_table1(records))
+    standard = records[0]
+    for row in records[1:]:
+        for column in (key for key in row if key != "config"):
+            assert row[column] == pytest.approx(standard[column], rel=0.05)
+
+
+@pytest.mark.parametrize(
+    "workload",
+    [echo_workload(100), interactive_workload(100), bulk_workload(1 * MB)],
+    ids=["echo", "interactive", "bulk-1MB"],
+)
+@pytest.mark.parametrize("mode", ["standard", "sttcp-50ms"])
+def test_table1_cell(benchmark, workload, mode):
+    """One (workload, protocol) cell — the benchmark unit of Table 1."""
+    sttcp = STTCPConfig(hb_interval=0.05) if mode == "sttcp-50ms" else None
+
+    def cell():
+        return run_workload(workload, sttcp=sttcp, seed=100, deadline=600.0)
+
+    run = run_once(benchmark, cell)
+    run.require_clean()
+    print(f"\n{mode} {workload.name}: {run.total_time:.3f}s simulated")

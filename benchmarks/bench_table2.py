@@ -1,0 +1,60 @@
+"""Table 2 — failover time across heartbeat intervals (§6.2).
+
+Expected shape: failover ≈ 3–4 × HB interval plus client RTO alignment;
+sub-second at 50 ms HB, tens of seconds at 5 s HB, and roughly
+independent of the application/transfer size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.workload import bulk_workload, echo_workload
+from repro.harness.experiments import format_table2, table2
+from repro.harness.runner import measure_failover_time
+from repro.sttcp.config import STTCPConfig
+from repro.util.units import KB
+
+from benchmarks.conftest import run_once
+
+
+def test_table2_full(benchmark, scale):
+    records = run_once(benchmark, lambda: table2(scale))
+    print()
+    print(format_table2(records))
+    # Monotonic in the heartbeat interval for every workload column.
+    columns = [key for key in records[0] if key != "config"]
+    for column in columns:
+        values = [record[column] for record in records]  # hb descending
+        assert values == sorted(values, reverse=True)
+
+
+@pytest.mark.parametrize("hb", [0.2, 0.05], ids=["hb-200ms", "hb-50ms"])
+def test_table2_echo_cell(benchmark, hb):
+    sample = run_once(
+        benchmark,
+        lambda: measure_failover_time(
+            echo_workload(50), STTCPConfig(hb_interval=hb), seed=200
+        ),
+    )
+    print(
+        f"\nHB={hb}s: failover={sample['failover_time']:.3f}s "
+        f"(detect={sample['detection_latency']:.3f}s)"
+    )
+    assert 3 * hb <= sample["detection_latency"] <= 4 * hb + 0.02
+    assert sample["failover_time"] < 4 * hb + 2.0
+
+
+def test_table2_failover_size_independent(benchmark):
+    """Failover does not grow with the transfer size (unlike FT-TCP)."""
+    def measure():
+        config = STTCPConfig(hb_interval=0.05)
+        small = measure_failover_time(bulk_workload(256 * KB), config, seed=201)
+        large = measure_failover_time(bulk_workload(1024 * KB), config, seed=201)
+        return small, large
+
+    small, large = run_once(benchmark, measure)
+    print(
+        f"\n256KB: {small['failover_time']:.3f}s, 1MB: {large['failover_time']:.3f}s"
+    )
+    assert large["failover_time"] < small["failover_time"] + 1.0

@@ -1,0 +1,28 @@
+"""Shared benchmark utilities.
+
+Benchmarks default to a reduced grid so ``pytest benchmarks/`` finishes in
+tens of seconds; set ``REPRO_PAPER_SCALE=1`` to run the paper's full grid
+(100 MB bulk transfers, 5 s heartbeats, three repetitions — several
+minutes of wall clock).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import default_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return default_scale()
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer.
+
+    Experiment cells are deterministic simulations — repeating them
+    measures the same events again — so a single round is both honest
+    and fast.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Tables 1–2 and Figures 5–6.
+
+By default runs a reduced grid (~1 minute).  For the paper's full grid —
+bulk transfers up to 100 MB, heartbeats up to 5 s, three repetitions —
+set ``REPRO_PAPER_SCALE=1`` (expect several minutes of wall clock).
+
+Run:  python examples/paper_tables.py [--quick]
+"""
+
+import sys
+import time
+
+from repro.harness.experiments import (
+    default_scale,
+    figure5,
+    figure6,
+    format_figure5,
+    format_figure6,
+    format_table1,
+    format_table2,
+    table1,
+    table2,
+    QUICK_SCALE,
+)
+
+
+def main() -> None:
+    scale = QUICK_SCALE if "--quick" in sys.argv else default_scale()
+    print(f"scale: echo×{scale.echo_exchanges}, interactive×{scale.interactive_exchanges}, "
+          f"bulk {[s // 1024 for s in scale.bulk_sizes]} KB, "
+          f"HB grid {list(scale.hb_grid)}, {scale.repeats} repeat(s)\n")
+
+    start = time.time()
+    print(format_table1(table1(scale)))
+    print()
+    print(format_table2(table2(scale)))
+    print()
+    sweep = (0.05, 0.2, 1.0) if scale is QUICK_SCALE else (0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0)
+    print(format_figure5(figure5("echo", scale, hb_sweep=sweep), "echo"))
+    print()
+    print(format_figure5(figure5("interactive", scale, hb_sweep=sweep), "interactive"))
+    print()
+    print(format_figure6(figure6(scale, hb_grid=scale.hb_grid[-2:])))
+    print(f"\n(wall clock: {time.time() - start:.1f} s)")
+
+
+if __name__ == "__main__":
+    main()

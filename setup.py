@@ -1,0 +1,6 @@
+"""Setup shim so ``pip install -e .`` works without the ``wheel`` package
+(offline environments); configuration lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""repro — a reproduction of ST-TCP (Server fault-Tolerant TCP), DSN 2003.
+
+The package provides a deterministic discrete-event network simulator with
+a full TCP implementation, and builds the paper's contribution — transparent
+TCP server failover to an active tapping backup — on top of it.
+
+See README.md for the full tour and :mod:`repro.harness` for the paper's
+experiments.
+"""
+
+from repro.errors import (
+    ConfigurationError,
+    ConnectionClosed,
+    ConnectionRefused,
+    ConnectionReset,
+    ConnectionTimeout,
+    FailoverError,
+    NetworkError,
+    ReproError,
+    SimulationError,
+)
+from repro.host import Host, make_gateway
+from repro.net.addresses import IPAddress, MACAddress, ip, mac
+from repro.sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigurationError",
+    "ConnectionClosed",
+    "ConnectionRefused",
+    "ConnectionReset",
+    "ConnectionTimeout",
+    "FailoverError",
+    "Host",
+    "IPAddress",
+    "MACAddress",
+    "NetworkError",
+    "ReproError",
+    "SimulationError",
+    "Simulator",
+    "ip",
+    "mac",
+    "make_gateway",
+    "__version__",
+]

@@ -1,0 +1,47 @@
+"""The paper's applications: Echo, Interactive, Bulk (§6), over a shared
+deterministic request/response protocol."""
+
+from repro.apps.client import client_session, run_client
+from repro.apps.protocol import (
+    KIND_DATA,
+    KIND_ECHO,
+    REQUEST_SIZE,
+    Request,
+    decode_request,
+    encode_request,
+    response_payload,
+    verify_response,
+)
+from repro.apps.server import connection_handler, request_response_server, start_server
+from repro.apps.workload import (
+    PAPER_BULK_SIZES,
+    AppWorkload,
+    RunResult,
+    bulk_workload,
+    echo_workload,
+    interactive_workload,
+    upload_workload,
+)
+
+__all__ = [
+    "AppWorkload",
+    "KIND_DATA",
+    "KIND_ECHO",
+    "PAPER_BULK_SIZES",
+    "REQUEST_SIZE",
+    "Request",
+    "RunResult",
+    "bulk_workload",
+    "client_session",
+    "connection_handler",
+    "decode_request",
+    "echo_workload",
+    "encode_request",
+    "interactive_workload",
+    "request_response_server",
+    "response_payload",
+    "run_client",
+    "start_server",
+    "upload_workload",
+    "verify_response",
+]

@@ -1,0 +1,116 @@
+"""Workload definitions and run results for the paper's applications.
+
+Three applications with differing communication behaviour (§6):
+
+* **Echo** — 100 exchanges of a 150-byte message echoed back (telnet-like).
+* **Interactive** — 100 exchanges of a 150-byte request answered with
+  10 KB (http-like).
+* **Bulk transfer** — one 150-byte request answered with a large file of
+  1/5/20/100 MB (ftp-like).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from repro.util.units import KB, MB
+
+
+@dataclasses.dataclass(frozen=True)
+class AppWorkload:
+    """Parameters of one client/server application run."""
+
+    name: str
+    exchanges: int
+    response_size: int
+    echo: bool = False
+    #: Client streams ``response_size`` bytes *to* the server and gets a
+    #: 150-byte receipt back (exercises the ST-TCP retention machinery).
+    upload: bool = False
+    #: Per-request server compute time (identical on every replica, so the
+    #: determinism assumption of §3 holds).
+    service_time: float = 0.0
+
+    def total_response_bytes(self) -> int:
+        from repro.apps.protocol import REQUEST_SIZE
+
+        per_exchange = REQUEST_SIZE if self.echo else self.response_size
+        return per_exchange * self.exchanges
+
+
+def echo_workload(exchanges: int = 100) -> AppWorkload:
+    """The Echo application: ~150-byte messages echoed back (§6)."""
+    return AppWorkload("echo", exchanges=exchanges, response_size=0, echo=True)
+
+
+def interactive_workload(
+    exchanges: int = 100,
+    response_size: int = 10 * KB,
+    service_time: float = 0.010,
+) -> AppWorkload:
+    """The Interactive application: small request, 10 KB reply (§6).
+
+    The default 10 ms service time calibrates the per-exchange latency to
+    the paper's 20 ms (Table 1) — the cost of producing a 10 KB reply on
+    the testbed's 800 MHz machines with HZ=100 scheduling.
+    """
+    return AppWorkload(
+        "interactive",
+        exchanges=exchanges,
+        response_size=response_size,
+        service_time=service_time,
+    )
+
+
+def bulk_workload(file_size: int = 1 * MB) -> AppWorkload:
+    """The Bulk-transfer application: one request, a large file back (§6)."""
+    return AppWorkload(f"bulk-{file_size // MB}MB" if file_size >= MB else f"bulk-{file_size}B",
+                       exchanges=1, response_size=file_size)
+
+
+def upload_workload(upload_size: int = 1 * MB, exchanges: int = 1) -> AppWorkload:
+    """A client→server bulk upload (not in the paper's evaluation, but the
+    workload that actually stresses the §4.2 second receive buffer)."""
+    label = f"upload-{upload_size // MB}MB" if upload_size >= MB else f"upload-{upload_size}B"
+    return AppWorkload(label, exchanges=exchanges, response_size=upload_size, upload=True)
+
+
+#: The paper's bulk transfer sizes (Table 1 / Table 2 / Figure 6).
+PAPER_BULK_SIZES = (1 * MB, 5 * MB, 20 * MB, 100 * MB)
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Outcome of one client run."""
+
+    workload: AppWorkload
+    start_time: float
+    end_time: float
+    exchanges_done: int
+    bytes_received: int
+    verified: bool
+    bytes_sent: int = 0
+    #: (time, cumulative response bytes) checkpoints for gap analysis.
+    timeline: List[Tuple[float, int]] = dataclasses.field(default_factory=list)
+    error: Optional[str] = None
+
+    @property
+    def total_time(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def max_gap(self) -> float:
+        """Longest interval between progress checkpoints — the
+        client-visible service interruption."""
+        if len(self.timeline) < 2:
+            return 0.0
+        return max(b[0] - a[0] for a, b in zip(self.timeline, self.timeline[1:]))
+
+    def summary(self) -> str:
+        status = "ok" if self.verified and self.error is None else f"FAILED({self.error})"
+        return (
+            f"{self.workload.name}: {self.total_time:.3f}s, "
+            f"{self.exchanges_done} exchanges, {self.bytes_received} bytes, "
+            f"max gap {self.max_gap * 1e3:.1f}ms, {status}"
+        )

@@ -1,0 +1,17 @@
+"""Fault injection for experiments: crashes, tap loss, channel partitions."""
+
+from repro.faults.injection import (
+    CrashInjector,
+    add_tap_loss,
+    add_tap_outage,
+    clear_loss,
+    partition_channel,
+)
+
+__all__ = [
+    "CrashInjector",
+    "add_tap_loss",
+    "add_tap_outage",
+    "clear_loss",
+    "partition_channel",
+]

@@ -1,0 +1,113 @@
+"""Fault injection: crashes, tap loss, channel partitions.
+
+Everything experiments inject goes through here so scenarios read
+declaratively — "crash the primary 0.3 s into the run", "drop 1% of the
+backup's tapped frames", "partition the UDP channel".
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.net.frame import ETHERTYPE_IPV4, EthernetFrame
+from repro.net.loss import RandomLoss, ScriptedLoss, WindowLoss
+from repro.ip.datagram import PROTO_UDP
+from repro.sim.events import EventHandle
+
+
+class CrashInjector:
+    """Schedules host crashes at absolute simulated times."""
+
+    def __init__(self, sim: Any) -> None:
+        self.sim = sim
+        self.scheduled: List[EventHandle] = []
+        self.crashes_performed = 0
+
+    def crash_at(self, host: Any, time: float) -> EventHandle:
+        """Crash ``host`` at absolute time ``time``."""
+        handle = self.sim.schedule_at(time, self._crash, host)
+        self.scheduled.append(handle)
+        return handle
+
+    def crash_after(self, host: Any, delay: float) -> EventHandle:
+        """Crash ``host`` after ``delay`` seconds from now."""
+        handle = self.sim.schedule(delay, self._crash, host)
+        self.scheduled.append(handle)
+        return handle
+
+    def _crash(self, host: Any) -> None:
+        self.crashes_performed += 1
+        host.crash()
+
+    def cancel_all(self) -> None:
+        for handle in self.scheduled:
+            handle.cancel()
+        self.scheduled.clear()
+
+
+def add_tap_loss(nic: Any, rng: Any, rate: float) -> RandomLoss:
+    """Make the backup's tap lossy: drop ``rate`` of frames in the NIC
+    receive path (the IP-buffer-overflow analogue of §4.2)."""
+    model = RandomLoss(rng, rate)
+    nic.rx_loss_model = model
+    return model
+
+
+def add_tap_outage(nic: Any, start: float, stop: float) -> WindowLoss:
+    """Black out the backup's tap during [start, stop) — deterministic
+    loss used to force UDP-channel (or logger) recovery."""
+    model = WindowLoss(start, stop)
+    nic.rx_loss_model = model
+    return model
+
+
+def _is_udp_channel_frame(frame: EthernetFrame, port: int) -> bool:
+    if frame.ethertype != ETHERTYPE_IPV4:
+        return False
+    datagram = frame.payload
+    if datagram.protocol != PROTO_UDP:
+        return False
+    udp = datagram.payload
+    return udp.dst_port == port or udp.src_port == port
+
+
+def lossy_channel(medium: Any, channel_port: int, rng: Any, rate: float) -> ScriptedLoss:
+    """Drop UDP-channel frames randomly at ``rate`` (heartbeat jitter).
+
+    Exercises the failure detector's robustness: with a small miss
+    threshold, a few unlucky consecutive drops wrongly suspect a healthy
+    primary (§3.2's motivation for making suspicions safe).
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"loss rate must be in [0, 1], got {rate}")
+
+    def predicate(frame: EthernetFrame) -> bool:
+        return _is_udp_channel_frame(frame, channel_port) and rng.random() < rate
+
+    model = ScriptedLoss(predicate=predicate)
+    medium.loss_model = model
+    return model
+
+
+def partition_channel(medium: Any, channel_port: int) -> ScriptedLoss:
+    """Drop every UDP-channel frame crossing ``medium``.
+
+    Isolates the heartbeat path while client TCP traffic continues —
+    the wrong-suspicion scenario that the power switch must make safe
+    (§3.2, §4.4).
+    """
+    model = ScriptedLoss(
+        predicate=lambda frame: _is_udp_channel_frame(frame, channel_port)
+    )
+    medium.loss_model = model
+    return model
+
+
+def clear_loss(medium_or_nic: Any) -> None:
+    """Remove any injected loss model."""
+    if hasattr(medium_or_nic, "rx_loss_model"):
+        medium_or_nic.rx_loss_model = None
+    if hasattr(medium_or_nic, "loss_model"):
+        from repro.net.loss import NoLoss
+
+        medium_or_nic.loss_model = NoLoss()

@@ -1,0 +1,572 @@
+"""Every table and figure of the paper's evaluation, as runnable code.
+
+Each function regenerates one artefact:
+
+* :func:`table1` — failure-free total time, standard TCP vs ST-TCP across
+  heartbeat intervals (Table 1).
+* :func:`table2` — failover time for the same grid (Table 2).
+* :func:`figure5` — Echo / Interactive total time vs HB interval, with
+  and without failure (Figures 5a, 5b).
+* :func:`figure6` — Bulk total time vs transfer size, with and without
+  failure (Figure 6).
+* :func:`ablation_sync` — the §4.3 acknowledgment-strategy sweep (A1).
+* :func:`ablation_ftcp` — ST-TCP vs FT-TCP failover (A2).
+* :func:`ablation_logger` — double-failure masking via the logger (A3).
+* :func:`ablation_overhead` — UDP-channel traffic overhead (A4).
+
+Scale: the paper's full grid (100 MB bulks, three repetitions) takes
+minutes of wall clock; experiments accept an :class:`ExperimentScale` and
+default to a reduced grid controlled by the ``REPRO_PAPER_SCALE`` /
+``REPRO_SCALE`` environment variables.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.apps.workload import (
+    AppWorkload,
+    bulk_workload,
+    echo_workload,
+    interactive_workload,
+)
+from repro.harness.calibrate import PAPER_TESTBED, NetworkProfile
+from repro.harness.runner import (
+    CLIENT_START,
+    DEFAULT_CRASH_FRACTION,
+    measure_failover_time,
+    run_workload,
+)
+from repro.harness.tables import format_table
+from repro.sttcp.config import STTCPConfig
+from repro.util.units import KB, MB
+
+#: The paper's heartbeat-interval grid (Tables 1 and 2).
+PAPER_HB_GRID: Tuple[float, ...] = (5.0, 1.0, 0.2, 0.05)
+
+#: Denser sweep for the figures.
+FIGURE_HB_SWEEP: Tuple[float, ...] = (0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentScale:
+    """How big to run the grid."""
+
+    echo_exchanges: int
+    interactive_exchanges: int
+    bulk_sizes: Tuple[int, ...]
+    repeats: int
+    hb_grid: Tuple[float, ...] = PAPER_HB_GRID
+
+    def workloads(self) -> List[AppWorkload]:
+        apps = [
+            echo_workload(self.echo_exchanges),
+            interactive_workload(self.interactive_exchanges),
+        ]
+        apps.extend(bulk_workload(size) for size in self.bulk_sizes)
+        return apps
+
+
+#: The grid exactly as the paper ran it ("repeated at least three times").
+PAPER_SCALE = ExperimentScale(
+    echo_exchanges=100,
+    interactive_exchanges=100,
+    bulk_sizes=(1 * MB, 5 * MB, 20 * MB, 100 * MB),
+    repeats=3,
+)
+
+#: Fast grid for benchmarks and CI.
+QUICK_SCALE = ExperimentScale(
+    echo_exchanges=30,
+    interactive_exchanges=30,
+    bulk_sizes=(256 * KB, 1 * MB),
+    repeats=1,
+    hb_grid=(1.0, 0.2, 0.05),
+)
+
+
+def default_scale() -> ExperimentScale:
+    """Scale selected by environment: full paper grid, scaled, or quick."""
+    if os.environ.get("REPRO_PAPER_SCALE"):
+        return PAPER_SCALE
+    factor = float(os.environ.get("REPRO_SCALE", "1.0"))
+    if factor >= 4.0:
+        return PAPER_SCALE
+    if factor <= 1.0:
+        return QUICK_SCALE
+    return ExperimentScale(
+        echo_exchanges=int(30 * factor),
+        interactive_exchanges=int(30 * factor),
+        bulk_sizes=(int(256 * KB * factor), int(1 * MB * factor)),
+        repeats=1,
+    )
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values)
+
+
+# --------------------------------------------------------------------- Table 1
+def table1(
+    scale: Optional[ExperimentScale] = None,
+    profile: NetworkProfile = PAPER_TESTBED,
+    topology: str = "hub",
+    base_seed: int = 100,
+) -> List[Dict[str, object]]:
+    """Failure-free comparison of standard TCP and ST-TCP (Table 1).
+
+    Returns one record per protocol row with a column per workload.
+    """
+    scale = scale or default_scale()
+    workloads = scale.workloads()
+    records: List[Dict[str, object]] = []
+
+    def run_row(label: str, sttcp: Optional[STTCPConfig]) -> None:
+        record: Dict[str, object] = {"config": label}
+        for workload in workloads:
+            times = []
+            for repeat in range(scale.repeats):
+                run = run_workload(
+                    workload,
+                    profile=profile,
+                    topology=topology,
+                    sttcp=sttcp,
+                    seed=base_seed + repeat,
+                ).require_clean()
+                times.append(run.total_time)
+            record[workload.name] = _mean(times)
+        records.append(record)
+
+    run_row("Standard TCP", None)
+    for hb in scale.hb_grid:
+        run_row(f"ST-TCP {_hb_label(hb)} HB", STTCPConfig(hb_interval=hb))
+    return records
+
+
+# --------------------------------------------------------------------- Table 2
+def table2(
+    scale: Optional[ExperimentScale] = None,
+    profile: NetworkProfile = PAPER_TESTBED,
+    topology: str = "hub",
+    base_seed: int = 200,
+    crash_fraction: float = DEFAULT_CRASH_FRACTION,
+) -> List[Dict[str, object]]:
+    """Failover time across heartbeat intervals and workloads (Table 2)."""
+    scale = scale or default_scale()
+    workloads = scale.workloads()
+    records: List[Dict[str, object]] = []
+    for hb in scale.hb_grid:
+        record: Dict[str, object] = {"config": f"ST-TCP {_hb_label(hb)} HB"}
+        for workload in workloads:
+            failovers = []
+            for repeat in range(scale.repeats):
+                sample = measure_failover_time(
+                    workload,
+                    STTCPConfig(hb_interval=hb),
+                    profile=profile,
+                    topology=topology,
+                    crash_fraction=crash_fraction,
+                    seed=base_seed + repeat,
+                )
+                failovers.append(sample["failover_time"])
+            record[workload.name] = _mean(failovers)
+        records.append(record)
+    return records
+
+
+# --------------------------------------------------------- Figures 5(a), 5(b)
+def figure5(
+    application: str = "echo",
+    scale: Optional[ExperimentScale] = None,
+    hb_sweep: Sequence[float] = FIGURE_HB_SWEEP,
+    profile: NetworkProfile = PAPER_TESTBED,
+    topology: str = "hub",
+    base_seed: int = 300,
+    crash_fraction: float = DEFAULT_CRASH_FRACTION,
+) -> List[Dict[str, float]]:
+    """Total run time vs HB interval, with and without failure.
+
+    ``application`` is ``"echo"`` (Figure 5a) or ``"interactive"`` (5b).
+    Each point: {hb, no_failure_time, failure_time}.
+    """
+    scale = scale or default_scale()
+    if application == "echo":
+        workload = echo_workload(scale.echo_exchanges)
+    elif application == "interactive":
+        workload = interactive_workload(scale.interactive_exchanges)
+    else:
+        raise ValueError(f"figure5 covers echo/interactive, not {application!r}")
+    points = []
+    for index, hb in enumerate(hb_sweep):
+        sample = measure_failover_time(
+            workload,
+            STTCPConfig(hb_interval=hb),
+            profile=profile,
+            topology=topology,
+            crash_fraction=crash_fraction,
+            seed=base_seed + index,
+        )
+        points.append(
+            {
+                "hb": hb,
+                "no_failure_time": sample["no_failure_time"],
+                "failure_time": sample["failure_time"],
+                "failover_time": sample["failover_time"],
+            }
+        )
+    return points
+
+
+# ------------------------------------------------------------------- Figure 6
+def figure6(
+    scale: Optional[ExperimentScale] = None,
+    hb_grid: Optional[Sequence[float]] = None,
+    profile: NetworkProfile = PAPER_TESTBED,
+    topology: str = "hub",
+    base_seed: int = 400,
+    crash_fraction: float = DEFAULT_CRASH_FRACTION,
+) -> List[Dict[str, float]]:
+    """Bulk-transfer total time vs size, with and without failure.
+
+    One record per (hb, size): {hb, size, no_failure_time, failure_time}.
+    """
+    scale = scale or default_scale()
+    hb_values = tuple(hb_grid) if hb_grid is not None else scale.hb_grid
+    points = []
+    for hb_index, hb in enumerate(hb_values):
+        for size_index, size in enumerate(scale.bulk_sizes):
+            sample = measure_failover_time(
+                bulk_workload(size),
+                STTCPConfig(hb_interval=hb),
+                profile=profile,
+                topology=topology,
+                crash_fraction=crash_fraction,
+                seed=base_seed + hb_index * 17 + size_index,
+            )
+            points.append(
+                {
+                    "hb": hb,
+                    "size": size,
+                    "no_failure_time": sample["no_failure_time"],
+                    "failure_time": sample["failure_time"],
+                    "failover_time": sample["failover_time"],
+                }
+            )
+    return points
+
+
+# ------------------------------------------------------------------ Ablations
+def ablation_sync(
+    upload_size: int = 1 * MB,
+    sync_times: Sequence[float] = (0.05, 0.2, 1.0, 5.0),
+    x_fractions: Sequence[float] = (0.25, 0.5, 0.75, 1.0),
+    profile: NetworkProfile = PAPER_TESTBED,
+    base_seed: int = 500,
+) -> List[Dict[str, float]]:
+    """A1 — the §4.3 acknowledgment strategy: how SyncTime and X affect
+    throughput, channel chatter, and second-buffer pressure.
+
+    Uses an *upload* workload: the second receive buffer retains
+    client→server bytes, so only uploads put pressure on it.
+    """
+    from repro.apps.workload import upload_workload
+
+    records = []
+    for sync_index, sync_time in enumerate(sync_times):
+        for x_index, fraction in enumerate(x_fractions):
+            config = STTCPConfig(
+                hb_interval=0.05,
+                sync_time=sync_time,
+                ack_threshold_fraction=fraction,
+            )
+            run = run_workload(
+                upload_workload(upload_size),
+                profile=profile,
+                sttcp=config,
+                seed=base_seed + sync_index * 13 + x_index,
+            ).require_clean()
+            pair = run.scenario.pair
+            assert pair is not None
+            primary_states = list(pair.primary_engine._connections.values())
+            retention_peak = max(
+                (state.retention.peak_usage for state in primary_states), default=0
+            )
+            overflow_peak = max(
+                (state.retention.overflow_byte_peak for state in primary_states),
+                default=0,
+            )
+            records.append(
+                {
+                    "sync_time": sync_time,
+                    "x_fraction": fraction,
+                    "total_time": run.total_time,
+                    "acks_sent": float(pair.backup_engine.acks_sent),
+                    "retention_peak": float(retention_peak),
+                    "overflow_peak": float(overflow_peak),
+                }
+            )
+    return records
+
+
+def ablation_ftcp(
+    bulk_size: int = 1 * MB,
+    hb_interval: float = 0.2,
+    crash_fractions: Sequence[float] = (0.25, 0.5, 0.9),
+    profile: NetworkProfile = PAPER_TESTBED,
+    base_seed: int = 600,
+) -> List[Dict[str, float]]:
+    """A2 — ST-TCP vs FT-TCP failover: restart+replay cost grows with the
+    connection history; ST-TCP's does not."""
+    from repro.ftcp.baseline import FTCPConfig
+
+    records = []
+    for index, fraction in enumerate(crash_fractions):
+        for label, config in (
+            ("ST-TCP", STTCPConfig(hb_interval=hb_interval)),
+            ("FT-TCP", FTCPConfig(hb_interval=hb_interval)),
+        ):
+            sample = measure_failover_time(
+                bulk_workload(bulk_size),
+                config,
+                profile=profile,
+                crash_fraction=fraction,
+                seed=base_seed + index,
+            )
+            records.append(
+                {
+                    "protocol": label,
+                    "crash_fraction": fraction,
+                    "failover_time": sample["failover_time"],
+                    "detection_latency": sample["detection_latency"],
+                }
+            )
+    return records
+
+
+def ablation_logger(
+    upload_size: int = 512 * KB,
+    outage: Tuple[float, float] = (0.15, 0.25),
+    hb_interval: float = 0.05,
+    profile: NetworkProfile = PAPER_TESTBED,
+    base_seed: int = 700,
+) -> List[Dict[str, object]]:
+    """A3 — double failure: the backup's tap blacks out, then the primary
+    crashes before the UDP channel can repair the gap (§3.2).
+
+    During the outage the primary keeps acknowledging the client's upload,
+    so the client purges those bytes — after the crash they exist nowhere
+    the backup can reach.  Without a logger the takeover is degraded and
+    the client's connection eventually dies; with the logger the backup
+    replays the hole and the upload completes, fully verified.
+    """
+    from repro.apps.workload import upload_workload
+    from repro.errors import SimulationError
+    from repro.faults.injection import add_tap_outage
+    from repro.harness.scenario import Scenario
+
+    records = []
+    for use_logger in (False, True):
+        config = STTCPConfig(hb_interval=hb_interval, use_logger=use_logger)
+        scenario = Scenario(
+            profile=profile,
+            sttcp=config,
+            with_logger=use_logger,
+            seed=base_seed,
+        )
+        backup_nic = scenario.backup.nics[0]
+        add_tap_outage(backup_nic, *outage)
+        # Crash inside the outage so the channel cannot repair the gap.
+        crash_time = outage[1] - 0.001
+        try:
+            run = run_workload(
+                upload_workload(upload_size),
+                scenario=scenario,
+                crash_at=crash_time,
+                seed=base_seed,
+                deadline=2000.0,
+            )
+            completed = run.result.error is None
+            verified = run.result.verified
+            total_time = run.total_time
+        except SimulationError:
+            completed = False
+            verified = False
+            total_time = float("inf")
+        backup_engine = scenario.pair.backup_engine
+        records.append(
+            {
+                "logger": use_logger,
+                "completed": completed,
+                "verified": verified,
+                "degraded_connections": len(backup_engine.degraded_connections),
+                "logger_bytes_recovered": backup_engine.logger_bytes_recovered,
+                "total_time": total_time,
+            }
+        )
+    return records
+
+
+def ablation_overhead(
+    upload_size: int = 1 * MB,
+    second_buffers: Sequence[int] = (4 * KB, 8 * KB, 16 * KB, 32 * KB),
+    profile: NetworkProfile = PAPER_TESTBED,
+    base_seed: int = 800,
+) -> List[Dict[str, float]]:
+    """A4 — UDP-channel overhead as a fraction of client traffic (§4.3).
+
+    The paper's arithmetic: a 4 KB second buffer gives X = 3 KB, one
+    128-byte ack per 3 KB of client data → 4.17% added LAN traffic in
+    the worst case.  This reproduces that number and its scaling with
+    the second-buffer size, on a real upload stream.
+    """
+    from repro.apps.workload import upload_workload
+
+    records = []
+    for index, second_buffer in enumerate(second_buffers):
+        config = STTCPConfig(
+            hb_interval=0.05,
+            second_buffer_size=second_buffer,
+            ack_threshold_fraction=0.75,
+        )
+        run = run_workload(
+            upload_workload(upload_size),
+            profile=profile,
+            sttcp=config,
+            seed=base_seed + index,
+        ).require_clean()
+        pair = run.scenario.pair
+        assert pair is not None
+        backup = pair.backup_engine
+        # One 128 B ack plus the primary's 128 B reply per BackupAck.
+        channel_bytes = (backup.acks_sent + pair.primary_engine.acks_received) * 128
+        client_bytes = run.result.bytes_sent
+        records.append(
+            {
+                "second_buffer": float(second_buffer),
+                "x_bytes": float(second_buffer * 3 // 4),
+                "acks_sent": float(backup.acks_sent),
+                "channel_bytes": float(channel_bytes),
+                "client_bytes": float(client_bytes),
+                "overhead_percent": 100.0 * channel_bytes / client_bytes,
+            }
+        )
+    return records
+
+
+def ablation_detection(
+    thresholds: Sequence[int] = (1, 2, 3, 5),
+    channel_loss: float = 0.30,
+    observation_time: float = 3.0,
+    hb_interval: float = 0.05,
+    profile: NetworkProfile = PAPER_TESTBED,
+    base_seed: int = 900,
+) -> List[Dict[str, float]]:
+    """A5 — the heartbeat miss threshold (§4.4/§6.2 fix it at 3).
+
+    Two costs pull in opposite directions: a *small* threshold detects
+    real crashes faster but wrongly suspects a healthy primary under
+    heartbeat loss (here: 30% random loss on the UDP channel only); a
+    *large* threshold is robust but slow.  STONITH keeps wrong suspicions
+    *safe* (§3.2) — this measures how often they happen and what they cost.
+    """
+    from repro.errors import SimulationError
+    from repro.faults.injection import lossy_channel
+    from repro.harness.scenario import Scenario
+
+    records = []
+    for index, threshold in enumerate(thresholds):
+        config = STTCPConfig(hb_interval=hb_interval, hb_miss_threshold=threshold)
+        # (a) false-suspicion probe: healthy primary, jittery channel.
+        scenario = Scenario(profile=profile, sttcp=config, seed=base_seed + index)
+        lossy_channel(
+            scenario.hub,
+            config.channel_port,
+            scenario.sim.random.stream("channel-jitter"),
+            channel_loss,
+        )
+        scenario.start_service()
+        scenario.sim.run(until=observation_time)
+        wrongly_suspected = scenario.pair.failed_over
+        # The service must survive a wrong suspicion transparently.
+        probe = run_workload(
+            echo_workload(10),
+            scenario=scenario,
+            seed=base_seed + index,
+            deadline=120.0,
+        )
+        service_ok = probe.result.error is None and probe.result.verified
+        # (b) detection latency on a real crash (clean channel).
+        sample = measure_failover_time(
+            echo_workload(30),
+            STTCPConfig(hb_interval=hb_interval, hb_miss_threshold=threshold),
+            profile=profile,
+            seed=base_seed + index,
+        )
+        records.append(
+            {
+                "threshold": float(threshold),
+                "wrong_suspicion": bool(wrongly_suspected),
+                "service_ok_after": bool(service_ok),
+                "detection_latency": sample["detection_latency"],
+                "failover_time": sample["failover_time"],
+            }
+        )
+    return records
+
+
+# ------------------------------------------------------------------ rendering
+def _hb_label(hb: float) -> str:
+    if hb >= 1.0:
+        return f"{hb:g}s"
+    return f"{hb * 1000:g}ms"
+
+
+def format_table1(records: List[Dict[str, object]]) -> str:
+    columns = [key for key in records[0] if key != "config"]
+    rows = [[record["config"]] + [record[col] for col in columns] for record in records]
+    return format_table(
+        ["Configuration"] + columns,
+        rows,
+        title="Table 1: average total time (s) without failure",
+    )
+
+
+def format_table2(records: List[Dict[str, object]]) -> str:
+    columns = [key for key in records[0] if key != "config"]
+    rows = [[record["config"]] + [record[col] for col in columns] for record in records]
+    return format_table(
+        ["Configuration"] + columns,
+        rows,
+        title="Table 2: failover time (s)",
+    )
+
+
+def format_figure5(points: List[Dict[str, float]], application: str) -> str:
+    rows = [
+        [_hb_label(p["hb"]), p["no_failure_time"], p["failure_time"], p["failover_time"]]
+        for p in points
+    ]
+    return format_table(
+        ["HB interval", "no failure (s)", "with failure (s)", "failover (s)"],
+        rows,
+        title=f"Figure 5 ({application}): total time vs heartbeat interval",
+    )
+
+
+def format_figure6(points: List[Dict[str, float]]) -> str:
+    rows = [
+        [
+            _hb_label(p["hb"]),
+            f"{p['size'] // KB} KB" if p["size"] < MB else f"{p['size'] // MB} MB",
+            p["no_failure_time"],
+            p["failure_time"],
+        ]
+        for p in points
+    ]
+    return format_table(
+        ["HB interval", "size", "no failure (s)", "with failure (s)"],
+        rows,
+        title="Figure 6: bulk transfer with and without failover",
+    )

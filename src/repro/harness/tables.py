@@ -1,0 +1,44 @@
+"""ASCII rendering of experiment results in the paper's table shapes."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render an aligned text table."""
+    def render(cell: Any) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        header.ljust(widths[index]) for index, header in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered:
+        lines.append(
+            "  ".join(cell.rjust(widths[index]) for index, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def rows_from_records(
+    records: List[Dict[str, Any]], columns: Sequence[str]
+) -> List[List[Any]]:
+    """Project a list of dicts onto ordered columns (missing → '-')."""
+    return [[record.get(column, "-") for column in columns] for record in records]

@@ -1,0 +1,5 @@
+"""Host model: stack wiring, addressing, processes, crash semantics."""
+
+from repro.host.host import Host, Interface, make_gateway
+
+__all__ = ["Host", "Interface", "make_gateway"]

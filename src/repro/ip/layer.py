@@ -1,0 +1,175 @@
+"""The per-host IP layer: output path, input demux, forwarding, tapping.
+
+The *tap hook* is the simulator analogue of the backup's promiscuous
+reception: handlers registered with :meth:`IPLayer.add_tap` observe every
+datagram that reaches the host stack, whether or not it is locally
+addressed.  The ST-TCP backup engine uses this to watch the primary→client
+byte stream (§3, Figure 1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import NetworkError
+from repro.ip.datagram import DEFAULT_TTL, IPDatagram, PROTO_TCP, PROTO_UDP
+from repro.ip.routing import Route, RoutingTable
+from repro.net.addresses import IPAddress, MACAddress
+from repro.net.frame import ETHERTYPE_IPV4, EthernetFrame
+from repro.net.nic import NIC
+
+ProtocolHandler = Callable[[IPDatagram, NIC], None]
+TapHandler = Callable[[IPDatagram, NIC], None]
+
+#: Delay applied to loopback deliveries (pure scheduling separation).
+LOOPBACK_DELAY = 0.0
+
+
+class IPLayer:
+    """IPv4 input/output for one host."""
+
+    def __init__(self, sim: Any, host: Any) -> None:
+        self.sim = sim
+        self.host = host
+        self.routes = RoutingTable()
+        self.forwarding = False
+        self._protocols: Dict[int, ProtocolHandler] = {}
+        self._taps: List[TapHandler] = []
+        self.sent = 0
+        self.delivered = 0
+        self.forwarded = 0
+        self.dropped_no_route = 0
+        self.dropped_no_arp = 0
+        self.dropped_ttl = 0
+        self.dropped_not_local = 0
+
+    # Configuration -------------------------------------------------------------
+    def register_protocol(self, protocol: int, handler: ProtocolHandler) -> None:
+        self._protocols[protocol] = handler
+
+    def add_tap(self, handler: TapHandler) -> None:
+        """Observe every inbound datagram (promiscuous tap analogue)."""
+        self._taps.append(handler)
+
+    def remove_tap(self, handler: TapHandler) -> None:
+        try:
+            self._taps.remove(handler)
+        except ValueError:
+            pass
+
+    def add_route(
+        self,
+        network: IPAddress,
+        prefix_len: int,
+        nic: NIC,
+        next_hop: Optional[IPAddress] = None,
+        src_ip: Optional[IPAddress] = None,
+        metric: int = 0,
+    ) -> None:
+        self.routes.add(Route(network, prefix_len, nic, next_hop, src_ip, metric))
+
+    def add_default_route(self, nic: NIC, next_hop: IPAddress) -> None:
+        self.add_route(IPAddress(0), 0, nic, next_hop=next_hop, metric=100)
+
+    # Output path -----------------------------------------------------------------
+    def send(
+        self,
+        dst: IPAddress,
+        protocol: int,
+        payload: Any,
+        payload_size: int,
+        src: Optional[IPAddress] = None,
+        ttl: int = DEFAULT_TTL,
+    ) -> None:
+        """Route and emit one datagram (asynchronously past ARP)."""
+        if not self.host.is_up:
+            return
+        if dst in self.host.local_ips():
+            datagram = IPDatagram(src or dst, dst, protocol, payload, payload_size, ttl)
+            self.sim.schedule(LOOPBACK_DELAY, self._local_deliver, datagram, None)
+            self.sent += 1
+            return
+        route = self.routes.lookup(dst)
+        if route is None:
+            self.dropped_no_route += 1
+            if self.sim.trace.enabled:
+                self.sim.trace.emit(
+                    self.sim.now, "ip", "no_route", host=self.host.name, dst=str(dst)
+                )
+            return
+        source = src or route.src_ip or self.host.primary_ip_on(route.nic)
+        datagram = IPDatagram(source, dst, protocol, payload, payload_size, ttl)
+        self.sent += 1
+        self._transmit(datagram, route)
+
+    def _transmit(self, datagram: IPDatagram, route: Route) -> None:
+        next_hop = route.next_hop or datagram.dst
+        nic = route.nic
+
+        def on_resolved(mac: Optional[MACAddress]) -> None:
+            if mac is None:
+                self.dropped_no_arp += 1
+                if self.sim.trace.enabled:
+                    self.sim.trace.emit(
+                        self.sim.now,
+                        "ip",
+                        "arp_fail",
+                        host=self.host.name,
+                        next_hop=str(next_hop),
+                    )
+                return
+            src_mac = self.host.source_mac_for(nic, datagram.src)
+            frame = EthernetFrame(mac, src_mac, ETHERTYPE_IPV4, datagram, datagram.size)
+            nic.transmit(frame)
+
+        self.host.arp.resolve(next_hop, nic, on_resolved)
+
+    # Input path ------------------------------------------------------------------
+    def receive(self, datagram: IPDatagram, nic: NIC) -> None:
+        """Entry point from the host stack for inbound IPv4 frames."""
+        for tap in self._taps:
+            tap(datagram, nic)
+        if datagram.dst in self.host.local_ips():
+            self._local_deliver(datagram, nic)
+            return
+        if self.forwarding:
+            self._forward(datagram, nic)
+            return
+        self.dropped_not_local += 1
+
+    def _local_deliver(self, datagram: IPDatagram, nic: Optional[NIC]) -> None:
+        handler = self._protocols.get(datagram.protocol)
+        if handler is None:
+            if self.sim.trace.enabled:
+                self.sim.trace.emit(
+                    self.sim.now,
+                    "ip",
+                    "no_protocol",
+                    host=self.host.name,
+                    protocol=datagram.protocol,
+                )
+            return
+        self.delivered += 1
+        handler(datagram, nic)
+
+    def _forward(self, datagram: IPDatagram, in_nic: NIC) -> None:
+        if datagram.ttl <= 1:
+            self.dropped_ttl += 1
+            return
+        route = self.routes.lookup(datagram.dst)
+        if route is None:
+            self.dropped_no_route += 1
+            return
+        if route.nic is in_nic and route.next_hop is None:
+            # Would go straight back out the arrival interface toward the
+            # destination itself; a real router would emit an ICMP
+            # redirect.  Forward anyway (hosts on the segment ignore the
+            # duplicate), but count it.
+            pass
+        self.forwarded += 1
+        self._transmit(datagram.decremented(), route)
+
+
+def proto_name(protocol: int) -> str:
+    """Human-readable protocol number (for traces and errors)."""
+    return {PROTO_TCP: "tcp", PROTO_UDP: "udp"}.get(protocol, str(protocol))

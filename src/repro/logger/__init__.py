@@ -1,0 +1,15 @@
+"""The packet logger: double-failure masking for ST-TCP (§3.2)."""
+
+from repro.logger.client import RECOVERY_TIMEOUT, LoggerClient
+from repro.logger.messages import LoggerData, LoggerDone, LoggerQuery
+from repro.logger.packet_logger import LOGGER_PORT, PacketLogger
+
+__all__ = [
+    "LOGGER_PORT",
+    "LoggerClient",
+    "LoggerData",
+    "LoggerDone",
+    "LoggerQuery",
+    "PacketLogger",
+    "RECOVERY_TIMEOUT",
+]

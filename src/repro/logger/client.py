@@ -1,0 +1,102 @@
+"""The backup's client for the packet-logger query service.
+
+Supports several redundant loggers (§3.2: "by having two loggers ... one
+can prevent the logger from becoming a single point of failure"): each
+query goes to every logger, duplicate chunks are harmless (the receive
+buffer discards overlaps), and the recovery completes when any logger has
+answered every query — or the timeout fires.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.logger.messages import ConnKey, LoggerData, LoggerDone, LoggerQuery
+from repro.net.addresses import IPAddress
+from repro.tcp.timers import RestartableTimer
+
+#: Give up on an unresponsive logger after this long; takeover must not
+#: stall indefinitely on a dead logger.
+RECOVERY_TIMEOUT = 0.200
+
+OnData = Callable[[ConnKey, int, Any], None]
+OnDone = Callable[[], None]
+
+
+class LoggerClient:
+    """Issues gap-recovery queries during failover and streams results."""
+
+    def __init__(
+        self,
+        host: Any,
+        logger_addr: Union[Tuple[IPAddress, int], Sequence[Tuple[IPAddress, int]]],
+    ) -> None:
+        self.host = host
+        self.sim = host.sim
+        if isinstance(logger_addr, tuple) and len(logger_addr) == 2 and not isinstance(
+            logger_addr[0], tuple
+        ):
+            self.logger_addrs: List[Tuple[IPAddress, int]] = [logger_addr]
+        else:
+            self.logger_addrs = list(logger_addr)  # type: ignore[arg-type]
+        self.socket = host.udp.socket()
+        self.socket.on_datagram = self._on_message
+        self._queries_total = 0
+        self._done_by_logger: Dict[int, int] = {}
+        self._on_data: Optional[OnData] = None
+        self._on_done: Optional[OnDone] = None
+        self._deadline = RestartableTimer(self.sim, self._timed_out, "logger-client")
+        self.bytes_recovered = 0
+        self.recoveries_timed_out = 0
+
+    @property
+    def logger_addr(self) -> Tuple[IPAddress, int]:
+        """The first configured logger (single-logger compatibility)."""
+        return self.logger_addrs[0]
+
+    def recover(
+        self,
+        queries: List[Tuple[ConnKey, int, int]],
+        on_data: OnData,
+        on_done: OnDone,
+    ) -> None:
+        """Fetch ranges [(key, start_seq32, stop_seq32)]; stream chunks to
+        ``on_data(key, seq32, payload)``; call ``on_done()`` when every
+        query finished or the timeout fires."""
+        if not queries:
+            on_done()
+            return
+        self._on_data = on_data
+        self._on_done = on_done
+        self._queries_total = len(queries)
+        self._done_by_logger = {}
+        self._deadline.start(RECOVERY_TIMEOUT)
+        for key, start_seq, stop_seq in queries:
+            message = LoggerQuery(key, start_seq, stop_seq)
+            for addr in self.logger_addrs:
+                self.socket.send_to(addr, message, message.wire_size)
+
+    def _on_message(self, message: Any, addr: tuple) -> None:
+        if self._on_done is None:
+            return  # stale response after completion/timeout
+        if isinstance(message, LoggerData):
+            self.bytes_recovered += len(message.payload)
+            if self._on_data is not None:
+                self._on_data(message.key, message.seq, message.payload)
+        elif isinstance(message, LoggerDone):
+            source = addr[0].value
+            self._done_by_logger[source] = self._done_by_logger.get(source, 0) + 1
+            # Complete when any single logger answered every query.
+            if max(self._done_by_logger.values()) >= self._queries_total:
+                self._finish()
+
+    def _timed_out(self) -> None:
+        if self._on_done is not None:
+            self.recoveries_timed_out += 1
+            self._finish()
+
+    def _finish(self) -> None:
+        self._deadline.stop()
+        done, self._on_done, self._on_data = self._on_done, None, None
+        if done is not None:
+            done()

@@ -1,0 +1,64 @@
+"""Messages of the logger query protocol.
+
+The backup queries the logger only during failover, for client bytes that
+both (a) never arrived on its tap and (b) can no longer be repaired by the
+crashed primary — the double-failure case of §3.2.  Ranges use 32-bit
+client sequence numbers, like the primary↔backup channel.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.util.bytespan import ByteSpan
+
+ConnKey = Tuple[int, int]  # (client_ip.value, client_port)
+
+#: Modelled wire payload of the fixed-size messages.
+QUERY_MESSAGE_SIZE = 64
+DONE_MESSAGE_SIZE = 32
+DATA_HEADER_SIZE = 32
+
+
+class LoggerQuery:
+    """Ask for client-stream bytes [start_seq, stop_seq)."""
+
+    __slots__ = ("key", "start_seq", "stop_seq")
+
+    def __init__(self, key: ConnKey, start_seq: int, stop_seq: int) -> None:
+        self.key = key
+        self.start_seq = start_seq
+        self.stop_seq = stop_seq
+
+    @property
+    def wire_size(self) -> int:
+        return QUERY_MESSAGE_SIZE
+
+
+class LoggerData:
+    """One recovered chunk."""
+
+    __slots__ = ("key", "seq", "payload")
+
+    def __init__(self, key: ConnKey, seq: int, payload: ByteSpan) -> None:
+        self.key = key
+        self.seq = seq
+        self.payload = payload
+
+    @property
+    def wire_size(self) -> int:
+        return DATA_HEADER_SIZE + len(self.payload)
+
+
+class LoggerDone:
+    """Terminates the response stream for one query."""
+
+    __slots__ = ("key", "recovered_bytes")
+
+    def __init__(self, key: ConnKey, recovered_bytes: int) -> None:
+        self.key = key
+        self.recovered_bytes = recovered_bytes
+
+    @property
+    def wire_size(self) -> int:
+        return DONE_MESSAGE_SIZE

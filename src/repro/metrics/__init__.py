@@ -1,0 +1,10 @@
+"""Metric snapshots and experiment samples."""
+
+from repro.metrics.collectors import (
+    ChannelTraffic,
+    ExperimentSample,
+    HostTraffic,
+    summarize,
+)
+
+__all__ = ["ChannelTraffic", "ExperimentSample", "HostTraffic", "summarize"]

@@ -1,0 +1,215 @@
+"""Transmission media: point-to-point cables and the shared-medium hub.
+
+Devices (NICs, switch ports) implement the :class:`FrameReceiver` protocol
+— a single ``receive_frame(frame)`` method — and hold an
+:class:`Attachment` through which they transmit.  Media are responsible for
+serialisation (a link clocks one frame at a time per direction), propagation
+delay, and loss.
+
+The hub reproduces the paper's testbed: a 10/100 Mb/s Ethernet hub is a
+*shared half-duplex* medium, so every attached station hears every frame —
+which is exactly why the backup can tap the primary's traffic without any
+switch support (§6, Experimental Setup).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.errors import NetworkError
+from repro.net.frame import EthernetFrame
+from repro.net.loss import LossModel, NoLoss
+from repro.util.units import transmission_time
+
+
+class FrameReceiver:
+    """Protocol: anything that can be handed a frame by a medium."""
+
+    def receive_frame(self, frame: EthernetFrame) -> None:
+        raise NotImplementedError
+
+
+class Attachment:
+    """A device's handle onto a medium; devices call :meth:`send`."""
+
+    def send(self, frame: EthernetFrame) -> None:
+        raise NotImplementedError
+
+    def detach(self) -> None:
+        """Remove the device from the medium (frames stop flowing)."""
+
+
+class _CableDirection:
+    """One direction of a cable: serialisation state plus the far receiver."""
+
+    __slots__ = ("receiver", "next_free")
+
+    def __init__(self, receiver: FrameReceiver) -> None:
+        self.receiver = receiver
+        self.next_free = 0.0
+
+
+class CableAttachment(Attachment):
+    __slots__ = ("cable", "direction", "attached")
+
+    def __init__(self, cable: "Cable", direction: _CableDirection) -> None:
+        self.cable = cable
+        self.direction = direction
+        self.attached = True
+
+    def send(self, frame: EthernetFrame) -> None:
+        if self.attached:
+            self.cable._transmit(self.direction, frame)
+
+    def detach(self) -> None:
+        self.attached = False
+
+
+class Cable:
+    """A point-to-point Ethernet link.
+
+    Full-duplex by default (each direction serialises independently);
+    half-duplex shares a single transmission resource, which halves usable
+    bandwidth under bidirectional load — the behaviour responsible for the
+    paper's sub-wire-rate bulk throughput through the hub.
+    """
+
+    def __init__(
+        self,
+        sim: Any,
+        end_a: FrameReceiver,
+        end_b: FrameReceiver,
+        rate_bps: float,
+        delay: float = 0.0,
+        full_duplex: bool = True,
+        loss_model: Optional[LossModel] = None,
+        name: str = "cable",
+    ) -> None:
+        if rate_bps <= 0:
+            raise NetworkError(f"link rate must be positive, got {rate_bps}")
+        if delay < 0:
+            raise NetworkError(f"negative link delay {delay}")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.delay = delay
+        self.full_duplex = full_duplex
+        self.loss_model = loss_model or NoLoss()
+        self.name = name
+        self._to_b = _CableDirection(end_b)
+        self._to_a = _CableDirection(end_a)
+        if not full_duplex:
+            # Share serialisation state: both directions alias one object's
+            # next_free via the cable-level attribute below.
+            self._shared_next_free = 0.0
+        self.attachment_a = CableAttachment(self, self._to_b)  # A sends toward B
+        self.attachment_b = CableAttachment(self, self._to_a)  # B sends toward A
+        self.frames_carried = 0
+        self.bytes_carried = 0
+        # Let endpoints know their attachment if they accept it.
+        for endpoint, attachment in (
+            (end_a, self.attachment_a),
+            (end_b, self.attachment_b),
+        ):
+            attach_cb = getattr(endpoint, "attached_to", None)
+            if attach_cb is not None:
+                attach_cb(attachment)
+
+    def _transmit(self, direction: _CableDirection, frame: EthernetFrame) -> None:
+        now = self.sim.now
+        tx_time = transmission_time(frame.wire_size, self.rate_bps)
+        if self.full_duplex:
+            start = max(now, direction.next_free)
+            direction.next_free = start + tx_time
+        else:
+            start = max(now, self._shared_next_free)
+            self._shared_next_free = start + tx_time
+        arrival = start + tx_time + self.delay
+        if self.loss_model(frame, now):
+            if self.sim.trace.enabled:
+                self.sim.trace.emit(now, "link", "drop", link=self.name, frame=frame.frame_id)
+            return
+        self.frames_carried += 1
+        self.bytes_carried += frame.wire_size
+        self.sim.schedule_at(arrival, direction.receiver.receive_frame, frame)
+
+
+class HubAttachment(Attachment):
+    __slots__ = ("hub", "receiver", "attached")
+
+    def __init__(self, hub: "Hub", receiver: FrameReceiver) -> None:
+        self.hub = hub
+        self.receiver = receiver
+        self.attached = True
+
+    def send(self, frame: EthernetFrame) -> None:
+        if self.attached:
+            self.hub._transmit(self, frame)
+
+    def detach(self) -> None:
+        self.attached = False
+        self.hub._detach(self)
+
+
+class Hub:
+    """A shared-medium Ethernet hub (repeater).
+
+    Every frame sent by one station is delivered to *all* other stations
+    after one serialisation on the shared medium plus propagation delay.
+    Transmissions from all stations serialise on the single medium
+    (half-duplex), approximating CSMA/CD without modelling collisions —
+    under the paper's request/response workloads the medium is never
+    contended enough for collision dynamics to matter.
+    """
+
+    def __init__(
+        self,
+        sim: Any,
+        rate_bps: float,
+        delay: float = 0.0,
+        loss_model: Optional[LossModel] = None,
+        name: str = "hub",
+    ) -> None:
+        if rate_bps <= 0:
+            raise NetworkError(f"hub rate must be positive, got {rate_bps}")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.delay = delay
+        self.loss_model = loss_model or NoLoss()
+        self.name = name
+        self._attachments: List[HubAttachment] = []
+        self._next_free = 0.0
+        self.frames_carried = 0
+        self.bytes_carried = 0
+
+    def attach(self, receiver: FrameReceiver) -> HubAttachment:
+        """Plug a station into the hub; returns its attachment."""
+        attachment = HubAttachment(self, receiver)
+        self._attachments.append(attachment)
+        attach_cb = getattr(receiver, "attached_to", None)
+        if attach_cb is not None:
+            attach_cb(attachment)
+        return attachment
+
+    def _detach(self, attachment: HubAttachment) -> None:
+        try:
+            self._attachments.remove(attachment)
+        except ValueError:
+            pass
+
+    def _transmit(self, sender: HubAttachment, frame: EthernetFrame) -> None:
+        now = self.sim.now
+        tx_time = transmission_time(frame.wire_size, self.rate_bps)
+        start = max(now, self._next_free)
+        self._next_free = start + tx_time
+        if self.loss_model(frame, now):
+            if self.sim.trace.enabled:
+                self.sim.trace.emit(now, "link", "drop", link=self.name, frame=frame.frame_id)
+            return
+        self.frames_carried += 1
+        self.bytes_carried += frame.wire_size
+        arrival = start + tx_time + self.delay
+        for attachment in self._attachments:
+            if attachment is not sender and attachment.attached:
+                self.sim.schedule_at(
+                    arrival, attachment.receiver.receive_frame, frame
+                )

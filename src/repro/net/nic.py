@@ -1,0 +1,183 @@
+"""Network interface cards and virtual interfaces (VNICs).
+
+A :class:`NIC` filters incoming frames by destination MAC (unless
+promiscuous), models receive-side processing cost and a finite RX queue —
+the queue is what can overflow on a heavily loaded backup, producing the
+tapped-segment loss that ST-TCP's UDP recovery channel exists to repair
+(§4.2) — and hands surviving frames to the host stack.
+
+A :class:`VirtualInterface` is the paper's VNIC (§3.1): an extra
+(IP, MAC) identity layered on a hardware NIC.  Assigning a *multicast* MAC
+to the VNIC of both primary and backup is what lets a switch deliver the
+service traffic to both machines.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Set
+
+from repro.errors import NetworkError
+from repro.net.addresses import MAC_BROADCAST, IPAddress, MACAddress, fresh_unicast_mac
+from repro.net.frame import EthernetFrame
+from repro.net.loss import LossModel
+from repro.net.medium import Attachment, FrameReceiver
+
+FrameHandler = Callable[[EthernetFrame, "NIC"], None]
+
+
+class NIC(FrameReceiver):
+    """A simulated Ethernet interface."""
+
+    def __init__(
+        self,
+        sim: Any,
+        name: str = "eth0",
+        mac: Optional[MACAddress] = None,
+        processing_delay: float = 0.0,
+        rx_queue_capacity: int = 0,
+        rx_loss_model: Optional[LossModel] = None,
+    ) -> None:
+        """Create a NIC.
+
+        ``processing_delay`` models per-frame receive-side CPU cost;
+        ``rx_queue_capacity`` bounds the number of frames awaiting that
+        processing (0 = unbounded).  Both default off so that plain
+        topologies are cheap.
+        """
+        self.sim = sim
+        self.name = name
+        self.mac = mac or fresh_unicast_mac()
+        self.processing_delay = processing_delay
+        self.rx_queue_capacity = rx_queue_capacity
+        self.rx_loss_model = rx_loss_model
+        self.promiscuous = False
+        self.powered = True
+        self.handler: Optional[FrameHandler] = None
+        self.attachment: Optional[Attachment] = None
+        self._accepted: Set[MACAddress] = {self.mac, MAC_BROADCAST}
+        self._rx_busy_until = 0.0
+        self._rx_pending = 0
+        # Counters (public, read by metrics collectors and tests).
+        self.tx_frames = 0
+        self.tx_bytes = 0
+        self.rx_frames = 0
+        self.rx_bytes = 0
+        self.rx_dropped_filter = 0
+        self.rx_dropped_queue = 0
+        self.rx_dropped_loss = 0
+        self.rx_dropped_down = 0
+
+    # Wiring ----------------------------------------------------------------
+    def attached_to(self, attachment: Attachment) -> None:
+        """Callback from media when this NIC is plugged in."""
+        self.attachment = attachment
+
+    def set_handler(self, handler: FrameHandler) -> None:
+        """Install the stack callback invoked for each accepted frame."""
+        self.handler = handler
+
+    # Address filtering ------------------------------------------------------
+    def join_mac(self, mac: MACAddress) -> None:
+        """Accept frames addressed to an additional MAC (VNIC/multicast)."""
+        self._accepted.add(mac)
+
+    def leave_mac(self, mac: MACAddress) -> None:
+        if mac == self.mac or mac == MAC_BROADCAST:
+            raise NetworkError(f"cannot remove built-in address {mac}")
+        self._accepted.discard(mac)
+
+    def accepts(self, mac: MACAddress) -> bool:
+        return self.promiscuous or mac in self._accepted
+
+    # Transmit ----------------------------------------------------------------
+    def transmit(self, frame: EthernetFrame) -> None:
+        """Send a frame onto the attached medium (no-op when unpowered)."""
+        if not self.powered:
+            return
+        if self.attachment is None:
+            raise NetworkError(f"NIC {self.name} is not attached to any medium")
+        self.tx_frames += 1
+        self.tx_bytes += frame.wire_size
+        self.attachment.send(frame)
+
+    # Receive -----------------------------------------------------------------
+    def receive_frame(self, frame: EthernetFrame) -> None:
+        if not self.powered:
+            self.rx_dropped_down += 1
+            return
+        if not self.accepts(frame.dst):
+            self.rx_dropped_filter += 1
+            return
+        now = self.sim.now
+        if self.rx_loss_model is not None and self.rx_loss_model(frame, now):
+            self.rx_dropped_loss += 1
+            if self.sim.trace.enabled:
+                self.sim.trace.emit(
+                    now, "nic", "rx_loss", nic=self.name, frame=frame.frame_id
+                )
+            return
+        if self.processing_delay <= 0.0:
+            self._deliver(frame)
+            return
+        if self.rx_queue_capacity and self._rx_pending >= self.rx_queue_capacity:
+            self.rx_dropped_queue += 1
+            if self.sim.trace.enabled:
+                self.sim.trace.emit(
+                    now, "nic", "rx_overflow", nic=self.name, frame=frame.frame_id
+                )
+            return
+        start = max(now, self._rx_busy_until)
+        done = start + self.processing_delay
+        self._rx_busy_until = done
+        self._rx_pending += 1
+        self.sim.schedule_at(done, self._dequeue_and_deliver, frame)
+
+    def _dequeue_and_deliver(self, frame: EthernetFrame) -> None:
+        self._rx_pending -= 1
+        if self.powered:
+            self._deliver(frame)
+
+    def _deliver(self, frame: EthernetFrame) -> None:
+        self.rx_frames += 1
+        self.rx_bytes += frame.wire_size
+        if self.handler is not None:
+            self.handler(frame, self)
+
+    def power_off(self) -> None:
+        """Crash semantics: stop sending and receiving immediately."""
+        self.powered = False
+
+    def power_on(self) -> None:
+        self.powered = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<NIC {self.name} {self.mac}>"
+
+
+class VirtualInterface:
+    """A VNIC: an (IP, MAC) identity mapped onto a hardware NIC.
+
+    The MAC may be multicast — the core of the paper's switched-Ethernet
+    tapping architecture.  Creating the interface joins the MAC on the
+    hardware NIC so matching frames are accepted.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        ip: IPAddress,
+        mac: MACAddress,
+        hw_nic: NIC,
+    ) -> None:
+        self.name = name
+        self.ip = ip
+        self.mac = mac
+        self.hw_nic = hw_nic
+        hw_nic.join_mac(mac)
+
+    def remove(self) -> None:
+        """Tear the VNIC down (used when a backup relinquishes a role)."""
+        self.hw_nic.leave_mac(self.mac)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<VNIC {self.name} ip={self.ip} mac={self.mac} on {self.hw_nic.name}>"

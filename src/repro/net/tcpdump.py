@@ -1,0 +1,126 @@
+"""A tcpdump-style renderer for simulated traffic.
+
+Attach a :class:`PacketDump` to any host NIC (or every NIC of a host) and
+each frame it accepts is rendered like::
+
+    0.100312 client > 10.0.0.100.8000: Flags [P.], seq 1:151, ack 1, win 17520, length 150
+
+Useful in examples and while debugging protocol behaviour; the renderer is
+read-only and never perturbs the simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, TextIO
+
+from repro.ip.datagram import PROTO_TCP, PROTO_UDP, IPDatagram
+from repro.net.frame import ETHERTYPE_ARP, ETHERTYPE_IPV4, EthernetFrame
+from repro.net.nic import NIC
+from repro.tcp.segment import TCPSegment
+
+
+def format_segment(segment: TCPSegment, relative_seq: Optional[int] = None) -> str:
+    """Render a TCP segment in tcpdump's flag/seq/ack vocabulary."""
+    flags = segment.flag_string().replace("A", ".")
+    parts = [f"Flags [{flags}]"]
+    length = segment.payload_length
+    seq = segment.seq if relative_seq is None else segment.seq - relative_seq
+    if length or segment.is_syn or segment.is_fin:
+        parts.append(f"seq {seq}:{seq + max(length, 0)}" if length else f"seq {seq}")
+    if segment.is_ack:
+        parts.append(f"ack {segment.ack}")
+    parts.append(f"win {segment.window}")
+    if segment.mss_option is not None:
+        parts.append(f"mss {segment.mss_option}")
+    parts.append(f"length {length}")
+    return ", ".join(parts)
+
+
+def format_datagram(datagram: IPDatagram) -> str:
+    """One-line rendering of an IP datagram's transport content."""
+    if datagram.protocol == PROTO_TCP:
+        segment: TCPSegment = datagram.payload
+        return (
+            f"{datagram.src}.{segment.src_port} > "
+            f"{datagram.dst}.{segment.dst_port}: {format_segment(segment)}"
+        )
+    if datagram.protocol == PROTO_UDP:
+        udp = datagram.payload
+        payload = type(udp.payload).__name__
+        return (
+            f"{datagram.src}.{udp.src_port} > {datagram.dst}.{udp.dst_port}: "
+            f"UDP {payload}, length {udp.payload_size}"
+        )
+    return f"{datagram.src} > {datagram.dst}: proto {datagram.protocol}"
+
+
+def format_frame(frame: EthernetFrame) -> str:
+    if frame.ethertype == ETHERTYPE_IPV4:
+        return format_datagram(frame.payload)
+    if frame.ethertype == ETHERTYPE_ARP:
+        message = frame.payload
+        from repro.net.arp import ARP_REQUEST
+
+        if message.op == ARP_REQUEST:
+            return f"ARP, Request who-has {message.target_ip} tell {message.sender_ip}"
+        return f"ARP, Reply {message.sender_ip} is-at {message.sender_mac}"
+    return f"ethertype {frame.ethertype:#06x}, length {frame.wire_size}"
+
+
+class PacketDump:
+    """Captures frames at one or more NICs and renders them.
+
+    ``sink`` defaults to printing; pass a callable to collect lines
+    instead (tests do).  ``predicate`` filters frames before rendering.
+    """
+
+    def __init__(
+        self,
+        sim: Any,
+        sink: Optional[Callable[[str], None]] = None,
+        predicate: Optional[Callable[[EthernetFrame], bool]] = None,
+    ) -> None:
+        self.sim = sim
+        self.sink = sink or print
+        self.predicate = predicate
+        self.lines_emitted = 0
+        self._attached: List[tuple] = []
+
+    def attach_nic(self, nic: NIC, label: Optional[str] = None) -> None:
+        """Tap the NIC's receive path (after filtering/queueing)."""
+        previous = nic.handler
+        name = label or nic.name
+
+        def spy(frame: EthernetFrame, via: NIC) -> None:
+            self._emit(name, frame)
+            if previous is not None:
+                previous(frame, via)
+
+        nic.set_handler(spy)
+        self._attached.append((nic, previous))
+
+    def attach_host(self, host: Any) -> None:
+        for nic in host.nics:
+            self.attach_nic(nic, label=f"{host.name}/{nic.name}")
+
+    def detach_all(self) -> None:
+        for nic, previous in self._attached:
+            nic.set_handler(previous)
+        self._attached.clear()
+
+    def _emit(self, where: str, frame: EthernetFrame) -> None:
+        if self.predicate is not None and not self.predicate(frame):
+            return
+        self.lines_emitted += 1
+        self.sink(f"{self.sim.now:.6f} {where} {format_frame(frame)}")
+
+
+def dump_to_file(sim: Any, path: str) -> "PacketDump":
+    """A PacketDump writing lines to ``path`` (caller attaches NICs)."""
+    handle: TextIO = open(path, "w")  # noqa: SIM115 - lifetime = simulation
+
+    def sink(line: str) -> None:
+        handle.write(line + "\n")
+
+    dump = PacketDump(sim, sink=sink)
+    return dump

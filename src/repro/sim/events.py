@@ -1,0 +1,247 @@
+"""Event primitives for the discrete-event kernel.
+
+Two kinds of objects live here:
+
+* :class:`EventHandle` — the token returned by ``Simulator.schedule`` which
+  allows a pending callback to be cancelled or rescheduled.
+* :class:`SimEvent` — a waitable, one-shot event in the style of SimPy.
+  Coroutine processes ``yield`` a :class:`SimEvent` to suspend until the
+  event is triggered with :meth:`SimEvent.succeed` or :meth:`SimEvent.fail`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+
+#: Tie-break priorities for events scheduled at the same simulated instant.
+#: Lower values run first.
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+PRIORITY_LOW = 2
+
+_handle_ids = itertools.count()
+
+
+class EventHandle:
+    """A scheduled callback that can be cancelled before it fires.
+
+    Instances are created by the scheduler; user code only cancels them.
+    Cancellation is O(1): the handle is flagged and skipped when popped.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "_cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        callback: Callable[..., Any],
+        args: tuple,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = next(_handle_ids)
+        self.callback = callback
+        self.args = args
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Safe to call repeatedly."""
+        self._cancelled = True
+        # Drop references eagerly so cancelled timers do not pin payloads
+        # (a retransmit timer can capture an entire segment).
+        self.callback = _noop
+        self.args = ()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    # Heap ordering -------------------------------------------------------
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self._cancelled else "pending"
+        return f"<EventHandle t={self.time:.6f} {state}>"
+
+
+def _noop(*_args: Any) -> None:
+    return None
+
+
+class SimEvent:
+    """A one-shot waitable event.
+
+    A :class:`SimEvent` starts *pending*.  It is triggered exactly once via
+    :meth:`succeed` or :meth:`fail`; triggering twice raises
+    :class:`SimulationError`.  Processes that yielded the event are resumed
+    by the kernel in FIFO order with the event's value (or the failure
+    exception raised inside them).
+
+    The class is deliberately independent of the scheduler: triggering only
+    records the outcome and notifies subscribed callbacks; the process layer
+    turns those callbacks into coroutine resumptions.
+    """
+
+    __slots__ = ("sim", "_value", "_exc", "_done", "_callbacks", "name")
+
+    def __init__(self, sim: "Any", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._done = False
+        self._callbacks: List[Callable[["SimEvent"], None]] = []
+
+    # Introspection -------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has succeeded or failed."""
+        return self._done
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._done and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        """The success value; raises the failure exception for failed events."""
+        if not self._done:
+            raise SimulationError(f"event {self.name!r} not yet triggered")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exc
+
+    # Triggering ----------------------------------------------------------
+    def succeed(self, value: Any = None) -> "SimEvent":
+        """Mark the event successful and wake all waiters."""
+        self._trigger(value, None)
+        return self
+
+    def fail(self, exc: BaseException) -> "SimEvent":
+        """Mark the event failed; waiters will see ``exc`` raised."""
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() requires an exception, got {exc!r}")
+        self._trigger(None, exc)
+        return self
+
+    def _trigger(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self._done:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self._done = True
+        self._value = value
+        self._exc = exc
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    # Subscription --------------------------------------------------------
+    def add_callback(self, callback: Callable[["SimEvent"], None]) -> None:
+        """Run ``callback(event)`` when triggered (immediately if already)."""
+        if self._done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def discard_callback(self, callback: Callable[["SimEvent"], None]) -> None:
+        """Remove a previously added callback if still subscribed."""
+        try:
+            self._callbacks.remove(callback)
+        except ValueError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "pending"
+        if self._done:
+            state = "ok" if self._exc is None else f"failed({self._exc!r})"
+        return f"<SimEvent {self.name!r} {state}>"
+
+
+class Timeout(SimEvent):
+    """A :class:`SimEvent` that succeeds after a fixed simulated delay.
+
+    Created via ``sim.timeout(delay, value)``; scheduling happens there so
+    that this class stays a plain value object.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: Any, delay: float, name: str = "timeout") -> None:
+        super().__init__(sim, name)
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay}")
+        self.delay = delay
+
+
+class AnyOf(SimEvent):
+    """Succeeds when the first of several events triggers.
+
+    The value is the ``(index, event)`` pair of the first event to trigger.
+    If the winning event failed, this event fails with the same exception.
+    Remaining events keep their own lifecycle; their callbacks are released
+    so they do not resume anyone through this combinator twice.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, sim: Any, events: List[SimEvent]) -> None:
+        super().__init__(sim, "any_of")
+        if not events:
+            raise SimulationError("AnyOf requires at least one event")
+        self.events = list(events)
+        for event in self.events:
+            event.add_callback(self._child_done)
+
+    def _child_done(self, event: SimEvent) -> None:
+        if self.triggered:
+            return
+        for other in self.events:
+            if other is not event:
+                other.discard_callback(self._child_done)
+        if event.ok:
+            self.succeed((self.events.index(event), event))
+        else:
+            self.fail(event.exception)  # type: ignore[arg-type]
+
+
+class AllOf(SimEvent):
+    """Succeeds when every child event has succeeded.
+
+    Fails as soon as any child fails.  The success value is the list of
+    child values in the order the events were given.
+    """
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: Any, events: List[SimEvent]) -> None:
+        super().__init__(sim, "all_of")
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed([])
+            return
+        for event in self.events:
+            event.add_callback(self._child_done)
+
+    def _child_done(self, event: SimEvent) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.exception)  # type: ignore[arg-type]
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([e.value for e in self.events])

@@ -1,0 +1,116 @@
+"""The event heap driving the discrete-event simulation.
+
+The scheduler is intentionally minimal: a binary heap of
+:class:`~repro.sim.events.EventHandle` objects ordered by
+``(time, priority, seq)``.  Cancelled handles are lazily discarded when they
+reach the top of the heap, which keeps cancellation O(1) at the cost of some
+heap slack — the right trade for TCP workloads where most retransmission
+timers are cancelled by an ACK long before they fire.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import PRIORITY_NORMAL, EventHandle
+
+
+class Scheduler:
+    """A time-ordered queue of pending callbacks."""
+
+    __slots__ = ("_heap", "_now", "_executed", "_gc_threshold")
+
+    def __init__(self) -> None:
+        self._heap: list[EventHandle] = []
+        self._now = 0.0
+        self._executed = 0
+        # Compact the heap when cancelled entries dominate; prevents
+        # unbounded growth in timer-heavy workloads.
+        self._gc_threshold = 4096
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def executed_count(self) -> int:
+        """Number of callbacks executed so far (for diagnostics)."""
+        return self._executed
+
+    @property
+    def pending_count(self) -> int:
+        """Number of live (non-cancelled) entries in the queue."""
+        return sum(1 for handle in self._heap if not handle.cancelled)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        priority: int = PRIORITY_NORMAL,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time:.9f}, already at t={self._now:.9f}"
+            )
+        handle = EventHandle(time, priority, callback, args)
+        heapq.heappush(self._heap, handle)
+        if len(self._heap) > self._gc_threshold:
+            self._maybe_compact()
+        return handle
+
+    def _maybe_compact(self) -> None:
+        live = [handle for handle in self._heap if not handle.cancelled]
+        # Only pay the rebuild cost when at least half the heap is dead.
+        if len(live) * 2 <= len(self._heap):
+            heapq.heapify(live)
+            self._heap = live
+        else:
+            self._gc_threshold = max(self._gc_threshold, len(self._heap) * 2)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def run_next(self) -> bool:
+        """Pop and execute the next live event.
+
+        Returns ``False`` when the queue is empty.  Advances the clock to
+        the event's timestamp before invoking the callback.
+        """
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = handle.time
+            self._executed += 1
+            handle.callback(*handle.args)
+            return True
+        return False
+
+    def run_until(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Drain the queue, optionally bounded by time and/or event count.
+
+        With ``until`` set, the clock is advanced to exactly ``until`` after
+        the last event at or before it, so repeated bounded runs compose.
+        """
+        remaining = max_events
+        while True:
+            if remaining is not None:
+                if remaining <= 0:
+                    return
+                remaining -= 1
+            next_time = self.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            self.run_next()
+        if until is not None and until > self._now:
+            self._now = until

@@ -1,0 +1,140 @@
+"""The :class:`Simulator` facade tying clock, scheduler, processes and RNG
+together.
+
+A single :class:`Simulator` instance owns all mutable simulation state; all
+components (hosts, links, protocols) hold a reference to it.  Time is a
+float in seconds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import (
+    PRIORITY_NORMAL,
+    AllOf,
+    AnyOf,
+    EventHandle,
+    SimEvent,
+    Timeout,
+)
+from repro.sim.process import Process
+from repro.sim.randomness import RandomStreams
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import Tracer
+
+
+class Simulator:
+    """Discrete-event simulation kernel.
+
+    Typical use::
+
+        sim = Simulator(seed=1)
+        sim.spawn(my_process(sim))
+        sim.run(until=60.0)
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._scheduler = Scheduler()
+        self.random = RandomStreams(seed)
+        self.trace = Tracer()
+        self._processes: List[Process] = []
+
+    # Time ----------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._scheduler.now
+
+    @property
+    def events_executed(self) -> int:
+        return self._scheduler.executed_count
+
+    # Scheduling ----------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> EventHandle:
+        """Run ``callback(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self._scheduler.schedule_at(self.now + delay, callback, args, priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> EventHandle:
+        """Run ``callback(*args)`` at absolute simulated ``time``."""
+        return self._scheduler.schedule_at(time, callback, args, priority)
+
+    # Events --------------------------------------------------------------
+    def event(self, name: str = "") -> SimEvent:
+        """Create an untriggered waitable event."""
+        return SimEvent(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that succeeds after ``delay`` seconds."""
+        event = Timeout(self, delay)
+        self.schedule(delay, event.succeed, value)
+        return event
+
+    def any_of(self, events: List[SimEvent]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: List[SimEvent]) -> AllOf:
+        return AllOf(self, events)
+
+    # Processes -----------------------------------------------------------
+    def spawn(
+        self, generator: Generator[SimEvent, Any, Any], label: str = ""
+    ) -> Process:
+        """Start a coroutine process; returns its handle (joinable event)."""
+        process = Process(self, generator, label)
+        self._processes.append(process)
+        return process
+
+    # Execution -----------------------------------------------------------
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> None:
+        """Run events until the queue is empty, ``until`` is reached, or
+        ``max_events`` callbacks have executed."""
+        self._scheduler.run_until(until=until, max_events=max_events)
+
+    def run_until_complete(
+        self, process: Process, deadline: Optional[float] = None
+    ) -> Any:
+        """Run the simulation until ``process`` finishes; return its value.
+
+        Raises :class:`SimulationError` if the event queue drains or the
+        deadline passes while the process is still alive (usually a sign of
+        a deadlock in the scenario under test).
+        """
+        while not process.triggered:
+            if deadline is not None and self.now >= deadline:
+                raise SimulationError(
+                    f"deadline {deadline}s passed; process {process.label!r} "
+                    "still running"
+                )
+            next_time = self._scheduler.peek_time()
+            if next_time is None:
+                raise SimulationError(
+                    f"event queue empty but process {process.label!r} never "
+                    "finished (deadlock?)"
+                )
+            if deadline is not None and next_time > deadline:
+                self._scheduler.run_until(until=deadline)
+                continue
+            self._scheduler.run_next()
+        return process.value
+
+    def step(self) -> bool:
+        """Execute a single event; returns False when the queue is empty."""
+        return self._scheduler.run_next()

@@ -1,0 +1,98 @@
+"""Lightweight tracing for simulations.
+
+Components emit structured trace records through the simulator's
+:class:`Tracer`.  Tracing is off by default and costs a single attribute
+check per emit when disabled, so it can be left in hot paths.
+
+Records are ``(time, category, event, fields)`` tuples; sinks decide how to
+render or store them.  Tests use :class:`RecordingSink` to assert on
+protocol behaviour without reaching into private state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, NamedTuple, Optional
+
+
+class TraceRecord(NamedTuple):
+    time: float
+    category: str
+    event: str
+    fields: Dict[str, Any]
+
+
+Sink = Callable[[TraceRecord], None]
+
+
+class Tracer:
+    """Dispatches trace records to registered sinks, filtered by category."""
+
+    __slots__ = ("_sinks", "enabled", "_category_filter")
+
+    def __init__(self) -> None:
+        self._sinks: List[Sink] = []
+        self.enabled = False
+        self._category_filter: Optional[set] = None
+
+    def add_sink(self, sink: Sink, categories: Optional[List[str]] = None) -> None:
+        """Register a sink; enables tracing as a side effect."""
+        self._sinks.append(sink)
+        self.enabled = True
+        if categories is not None:
+            extra = set(categories)
+            if self._category_filter is None:
+                self._category_filter = extra
+            else:
+                self._category_filter |= extra
+        else:
+            self._category_filter = None  # a wildcard sink sees everything
+
+    def remove_sink(self, sink: Sink) -> None:
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            pass
+        if not self._sinks:
+            self.enabled = False
+            self._category_filter = None
+
+    def emit(self, time: float, category: str, event: str, **fields: Any) -> None:
+        if not self.enabled:
+            return
+        if self._category_filter is not None and category not in self._category_filter:
+            return
+        record = TraceRecord(time, category, event, fields)
+        for sink in self._sinks:
+            sink(record)
+
+
+class RecordingSink:
+    """Collects trace records into a list (for tests and debugging)."""
+
+    def __init__(self) -> None:
+        self.records: List[TraceRecord] = []
+
+    def __call__(self, record: TraceRecord) -> None:
+        self.records.append(record)
+
+    def of_event(self, event: str) -> List[TraceRecord]:
+        return [r for r in self.records if r.event == event]
+
+    def of_category(self, category: str) -> List[TraceRecord]:
+        return [r for r in self.records if r.category == category]
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+class PrintSink:
+    """Renders trace records to stdout; handy in examples."""
+
+    def __init__(self, prefix: str = "") -> None:
+        self.prefix = prefix
+
+    def __call__(self, record: TraceRecord) -> None:
+        fields = " ".join(f"{key}={value}" for key, value in record.fields.items())
+        print(
+            f"{self.prefix}[{record.time:12.6f}] {record.category}/{record.event} {fields}"
+        )

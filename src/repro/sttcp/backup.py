@@ -1,0 +1,471 @@
+"""The backup-side ST-TCP engine: tapping, shadowing, failover (§3–§5).
+
+The backup:
+
+* turns every passive open into a *shadow* connection (suppressed output,
+  ISN synchronisation) while running the unmodified server application;
+* observes the tapped primary→client stream to learn how far the primary's
+  receive state has advanced — any client bytes the primary ACKed that the
+  backup failed to tap are requested back over the UDP channel (§4.2);
+* acknowledges received client bytes to the primary with the X / SyncTime
+  strategy (§4.3);
+* monitors heartbeats and, on suspicion, power-switches the primary and
+  takes the connections over — making itself indistinguishable from the
+  primary to the client (§4.4, §5).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.ip.datagram import PROTO_TCP, IPDatagram
+from repro.net.addresses import IPAddress
+from repro.net.nic import NIC
+from repro.sttcp.config import STTCPConfig
+from repro.sttcp.failure_detector import HeartbeatMonitor
+from repro.sttcp.messages import (
+    AckReply,
+    BackupAck,
+    ChannelMessage,
+    ConnKey,
+    Heartbeat,
+    RetxData,
+    RetxRequest,
+    conn_key,
+)
+from repro.sttcp.power_switch import PowerSwitch
+from repro.tcp.constants import FLAG_ACK
+from repro.tcp.segment import TCPSegment
+from repro.tcp.seqspace import unwrap, wrap
+from repro.tcp.tcb import TCPConnection
+from repro.tcp.timers import RestartableTimer
+
+ROLE_PASSIVE = "passive"
+ROLE_TAKING_OVER = "taking_over"
+ROLE_ACTIVE = "active"
+
+
+class _ShadowConnState:
+    """Per-connection bookkeeping on the backup."""
+
+    __slots__ = (
+        "tcb",
+        "last_acked_offset",
+        "last_ack_time",
+        "pending_retx",
+        "primary_rcv_nxt",
+        "primary_snd_nxt",
+    )
+
+    def __init__(self, tcb: TCPConnection, now: float) -> None:
+        self.tcb = tcb
+        self.last_acked_offset = 0  # LastByteAcked (as a stream offset)
+        self.last_ack_time = now
+        self.pending_retx: Optional[tuple] = None  # (start_abs, stop_abs, at)
+        self.primary_rcv_nxt: Optional[int] = None  # abs, from tapped ACKs
+        self.primary_snd_nxt: Optional[int] = None  # abs, from tapped data
+
+
+class STTCPBackup:
+    """Backup-side protocol engine for one service endpoint."""
+
+    def __init__(
+        self,
+        host: Any,
+        service_ip: IPAddress,
+        service_port: int,
+        primary_ip: IPAddress,
+        config: Optional[STTCPConfig] = None,
+        primary_host: Optional[Any] = None,
+        power_switch: Optional[PowerSwitch] = None,
+        logger_client: Optional[Any] = None,
+        rank: int = 0,
+        peer_backup_ips: Optional[List[IPAddress]] = None,
+        peer_hosts: Optional[Dict[int, Any]] = None,
+    ) -> None:
+        self.host = host
+        self.sim = host.sim
+        self.service_ip = service_ip
+        self.service_port = service_port
+        self.primary_ip = primary_ip
+        self.primary_host = primary_host
+        self.power_switch = power_switch
+        self.logger_client = logger_client
+        self.config = config or STTCPConfig()
+        self.config.validate()
+        self.rank = rank
+        self.peer_backup_ips = list(peer_backup_ips or [])
+        #: channel-IP value → host, so an adopted primary can be STONITHed.
+        self.peer_hosts: Dict[int, Any] = dict(peer_hosts or {})
+        self.promoted_primary: Optional[Any] = None
+        self._deferred_takeover = None
+        self.role = ROLE_PASSIVE
+        self.detection_time: Optional[float] = None
+        self.takeover_time: Optional[float] = None
+        self.degraded_connections: List[ConnKey] = []
+        self._connections: Dict[ConnKey, _ShadowConnState] = {}
+        self._hb_sequence = 0
+        self._started = False
+        # Backups answer nothing on their own: no RSTs for unmatched
+        # tapped segments, no ARP for the (suppressed) service IP.
+        host.tcp.reset_on_unmatched = False
+        host.tcp.shadow_factory = self._on_shadow_connection
+        host.ip_layer.add_tap(self._on_tapped_datagram)
+        self.channel = host.udp.socket(self.config.channel_port)
+        host._sttcp_channel_socket = self.channel
+        self.channel.on_datagram = self._on_channel_message
+        self.primary_monitor = HeartbeatMonitor(
+            self.sim,
+            self.config.hb_interval,
+            self.config.hb_miss_threshold,
+            self._on_primary_suspected,
+            name=f"{host.name}.primary-monitor",
+        )
+        self._sync_timer = RestartableTimer(self.sim, self._on_sync_tick, "backup-sync")
+        self._hb_timer = RestartableTimer(self.sim, self._send_heartbeat, "backup-hb")
+        # Counters.
+        self.acks_sent = 0
+        self.retx_requests_sent = 0
+        self.retx_bytes_recovered = 0
+        self.logger_bytes_recovered = 0
+
+    # Lifecycle -------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.primary_monitor.start()
+        self._sync_timer.start(self.config.effective_sync_time())
+        self._hb_timer.start(self.config.hb_interval)
+
+    def stop(self) -> None:
+        self._started = False
+        self.primary_monitor.stop()
+        self._sync_timer.stop()
+        self._hb_timer.stop()
+
+    # Shadow connections -----------------------------------------------------------
+    def _on_shadow_connection(self, tcb: TCPConnection) -> None:
+        if tcb.local_ip != self.service_ip or tcb.local_port != self.service_port:
+            return
+        state = _ShadowConnState(tcb, self.sim.now)
+        self._connections[conn_key(tcb.remote_ip, tcb.remote_port)] = state
+        tcb.on_rcv_advance = lambda _rcv, s=state: self._on_stream_advance(s)
+        if self.sim.trace.enabled:
+            self.sim.trace.emit(
+                self.sim.now,
+                "sttcp",
+                "shadow_attach",
+                client=f"{tcb.remote_ip}:{tcb.remote_port}",
+            )
+
+    @property
+    def shadow_connections(self) -> List[TCPConnection]:
+        return [state.tcb for state in self._connections.values()]
+
+    def connection_state(self, key: ConnKey) -> Optional[_ShadowConnState]:
+        return self._connections.get(key)
+
+    # Acknowledgment strategy (§4.3) ---------------------------------------------------
+    def _ack_threshold(self, tcb: TCPConnection) -> int:
+        second_buffer = self.config.second_buffer_size or tcb.config.rcv_buffer
+        return max(1, int(self.config.ack_threshold_fraction * second_buffer))
+
+    def _on_stream_advance(self, state: _ShadowConnState) -> None:
+        if self.role is not ROLE_PASSIVE:
+            return
+        tcb = state.tcb
+        received = tcb.recv_buffer.rcv_nxt_offset - state.last_acked_offset
+        if received >= self._ack_threshold(tcb):
+            self._send_backup_ack(state)
+        # A filled gap may satisfy an outstanding recovery request.
+        if state.pending_retx is not None:
+            _, stop_abs, _ = state.pending_retx
+            if tcb.rcv_nxt >= stop_abs:
+                state.pending_retx = None
+
+    def _on_sync_tick(self) -> None:
+        """SyncTime expiry: ack every connection regardless of progress."""
+        if not self._started or self.role is not ROLE_PASSIVE or not self.host.is_up:
+            return
+        sync_time = self.config.effective_sync_time()
+        now = self.sim.now
+        for state in self._connections.values():
+            if now - state.last_ack_time >= sync_time and state.tcb.is_synchronized:
+                self._send_backup_ack(state)
+            self._maybe_reissue_retx(state)
+        self._sync_timer.start(sync_time)
+
+    def _send_backup_ack(self, state: _ShadowConnState) -> None:
+        tcb = state.tcb
+        key = conn_key(tcb.remote_ip, tcb.remote_port)
+        self.acks_sent += 1
+        self._send(BackupAck(key, wrap(tcb.rcv_nxt)))
+        state.last_acked_offset = tcb.recv_buffer.rcv_nxt_offset
+        state.last_ack_time = self.sim.now
+
+    def _send_heartbeat(self) -> None:
+        if not self._started or self.role is not ROLE_PASSIVE or not self.host.is_up:
+            return
+        self._hb_sequence += 1
+        self._send(Heartbeat("backup", self._hb_sequence))
+        self._hb_timer.start(self.config.hb_interval)
+
+    def _send(self, message: ChannelMessage) -> None:
+        self.channel.send_to(
+            (self.primary_ip, self.config.channel_port), message, message.wire_size
+        )
+
+    # Tap observation ------------------------------------------------------------------
+    def _on_tapped_datagram(self, datagram: IPDatagram, nic: Optional[NIC]) -> None:
+        """Observe the primary→client direction of the byte stream."""
+        if self.role is not ROLE_PASSIVE:
+            return
+        if datagram.protocol != PROTO_TCP or datagram.src != self.service_ip:
+            return
+        segment: TCPSegment = datagram.payload
+        if segment.src_port != self.service_port:
+            return
+        state = self._connections.get(conn_key(datagram.dst, segment.dst_port))
+        if state is None:
+            return
+        tcb = state.tcb
+        if segment.is_syn and segment.is_ack and not tcb.isn_rebased:
+            # The primary's SYN/ACK reveals its ISN directly (§4.1) — the
+            # robust sync source when the tap lost the client's handshake.
+            tcb.rebase_from_primary_isn(segment.seq)
+        if segment.is_ack:
+            # The ACK field tracks the *client's* stream, which the shadow
+            # anchors from the tapped SYN — valid even before ISN rebase.
+            primary_rcv = unwrap(segment.ack, tcb.rcv_nxt)
+            if state.primary_rcv_nxt is None or primary_rcv > state.primary_rcv_nxt:
+                state.primary_rcv_nxt = primary_rcv
+            if primary_rcv > tcb.rcv_nxt:
+                # The primary holds client bytes we never tapped; the
+                # client has purged them, so only the primary can help.
+                self._request_retransmission(state, tcb.rcv_nxt, primary_rcv)
+        if segment.payload_length > 0 and tcb.isn_rebased:
+            seg_end = unwrap(segment.seq, tcb.snd_nxt) + segment.payload_length
+            if state.primary_snd_nxt is None or seg_end > state.primary_snd_nxt:
+                state.primary_snd_nxt = seg_end
+
+    def _request_retransmission(
+        self, state: _ShadowConnState, start_abs: int, stop_abs: int
+    ) -> None:
+        if state.pending_retx is not None:
+            pending_start, pending_stop, requested_at = state.pending_retx
+            fresh = self.sim.now - requested_at < self.config.retx_request_timeout
+            if fresh:
+                if stop_abs <= pending_stop:
+                    return  # fully covered by the request in flight
+                # Only the new tail needs asking for.
+                start_abs = max(start_abs, pending_stop)
+        key = conn_key(state.tcb.remote_ip, state.tcb.remote_port)
+        self.retx_requests_sent += 1
+        self._send(RetxRequest(key, wrap(start_abs), wrap(stop_abs)))
+        state.pending_retx = (start_abs, stop_abs, self.sim.now)
+
+    def _maybe_reissue_retx(self, state: _ShadowConnState) -> None:
+        if state.pending_retx is None:
+            return
+        start_abs, stop_abs, requested_at = state.pending_retx
+        if state.tcb.rcv_nxt >= stop_abs:
+            state.pending_retx = None
+            return
+        if self.sim.now - requested_at >= self.config.retx_request_timeout:
+            state.pending_retx = None
+            self._request_retransmission(state, state.tcb.rcv_nxt, stop_abs)
+
+    # Channel input -----------------------------------------------------------------------
+    def _on_channel_message(self, message: ChannelMessage, addr: tuple) -> None:
+        if not self.host.is_up:
+            return
+        source = addr[0]
+        if (
+            isinstance(message, Heartbeat)
+            and message.sender == "primary"
+            and source != self.primary_ip
+        ):
+            self._adopt_new_primary(source)
+            return
+        self.primary_monitor.heard()
+        if isinstance(message, RetxData):
+            self._handle_retx_data(message)
+        # Heartbeat / AckReply carry liveness only.
+
+    def _adopt_new_primary(self, source: IPAddress) -> None:
+        """A peer backup took over and now heartbeats as the primary:
+        re-target shadowing at it and stand down from any takeover."""
+        if self.role is ROLE_ACTIVE:
+            return
+        self.primary_ip = source
+        # Future suspicions must power-switch the *new* primary.
+        self.primary_host = self.peer_hosts.get(source.value, self.primary_host)
+        if self._deferred_takeover is not None:
+            self._deferred_takeover.cancel()
+            self._deferred_takeover = None
+        self.role = ROLE_PASSIVE
+        self.primary_monitor.start()  # fresh grace period for the new primary
+        if not self._hb_timer.running:
+            self._hb_timer.start(self.config.hb_interval)
+        if not self._sync_timer.running:
+            self._sync_timer.start(self.config.effective_sync_time())
+        if self.sim.trace.enabled:
+            self.sim.trace.emit(
+                self.sim.now, "sttcp", "adopt_new_primary", primary=str(source), rank=self.rank
+            )
+
+    def _handle_retx_data(self, data: RetxData) -> None:
+        state = self._connections.get(data.key)
+        if state is None:
+            return
+        self._inject_payload(state.tcb, unwrap(data.seq, state.tcb.rcv_nxt), data.payload)
+        self.retx_bytes_recovered += len(data.payload)
+        if state.pending_retx is not None and state.tcb.rcv_nxt >= state.pending_retx[1]:
+            state.pending_retx = None
+
+    def _inject_payload(self, tcb: TCPConnection, seq_abs: int, payload: Any) -> None:
+        """Feed recovered client bytes into the shadow's receive stream.
+
+        Deliberately bypasses segment processing: recovery repairs the
+        receive stream only, and must not touch the ACK machinery (a
+        synthetic ACK while the shadow is still in SYN_RCVD would rebase
+        the ISN against the shadow's own wrong value).
+        """
+        tcb.inject_receive_data(seq_abs, payload)
+
+    # Failover (§4.4, §5) ---------------------------------------------------------------------
+    def _on_primary_suspected(self) -> None:
+        if not self.host.is_up or self.role is not ROLE_PASSIVE:
+            return
+        self.role = ROLE_TAKING_OVER
+        self.detection_time = self.sim.now
+        if self.sim.trace.enabled:
+            self.sim.trace.emit(
+                self.sim.now, "sttcp", "primary_suspected", rank=self.rank
+            )
+        if self.rank > 0:
+            # Defer: a higher-priority backup gets first claim; if its
+            # heartbeat-as-primary arrives meanwhile, we stand down.
+            delay = self.rank * self.config.takeover_grace
+            self._deferred_takeover = self.sim.schedule(delay, self._deferred_takeover_due)
+            return
+        self._proceed_with_takeover()
+
+    def _deferred_takeover_due(self) -> None:
+        self._deferred_takeover = None
+        if not self.host.is_up or self.role is not ROLE_TAKING_OVER:
+            return
+        # Nobody higher-ranked announced themselves: our turn.
+        self._proceed_with_takeover()
+
+    def _proceed_with_takeover(self) -> None:
+        if self.config.stonith and self.power_switch is not None and self.primary_host is not None:
+            # Convert the suspicion into a certainty before taking over.
+            self.power_switch.cut_power(self.primary_host, self._recover_gaps_then_takeover)
+        else:
+            self._recover_gaps_then_takeover()
+
+    def _recover_gaps_then_takeover(self) -> None:
+        """Mask double failures from the logger if configured (§3.2).
+
+        If the tap itself was down, the backup cannot even *know* what it
+        missed (the tapped primary ACKs were lost too), so with a logger
+        configured every connection issues an open-ended query from its
+        ``rcv_nxt`` — the logger holds the complete recent client stream.
+        """
+        if self.logger_client is None:
+            for key, _start, _stop in self._find_gaps():
+                self.degraded_connections.append(key)
+            self._complete_takeover()
+            return
+        queries = []
+        for key, state in self._connections.items():
+            if state.tcb.is_synchronized:
+                start = wrap(state.tcb.rcv_nxt)
+                queries.append((key, start, start))  # start == stop: to end
+        self.logger_client.recover(
+            queries,
+            on_data=self._on_logger_data,
+            on_done=self._on_logger_done,
+        )
+
+    def _find_gaps(self) -> List[tuple]:
+        """Ranges the primary had received that this backup still lacks."""
+        gaps = []
+        for key, state in self._connections.items():
+            tcb = state.tcb
+            target = state.primary_rcv_nxt
+            if target is not None and target > tcb.rcv_nxt:
+                gaps.append((key, tcb.rcv_nxt, target))
+        return gaps
+
+    def _on_logger_data(self, key: ConnKey, seq32: int, payload: Any) -> None:
+        state = self._connections.get(key)
+        if state is not None:
+            seq_abs = unwrap(seq32, state.tcb.rcv_nxt)
+            self._inject_payload(state.tcb, seq_abs, payload)
+            self.logger_bytes_recovered += len(payload)
+
+    def _on_logger_done(self) -> None:
+        for key, _start, stop in self._find_gaps():
+            # Whatever the logger could not repair stays degraded.
+            if self._connections[key].tcb.rcv_nxt < stop:
+                self.degraded_connections.append(key)
+        self._complete_takeover()
+
+    def _complete_takeover(self) -> None:
+        """Become the primary: answer ARP, transmit, accept new clients."""
+        self.role = ROLE_ACTIVE
+        self.takeover_time = self.sim.now
+        self.host.arp.unsuppress_ip(self.service_ip)
+        self.host.tcp.shadow_factory = None  # new connections are regular
+        self.host.tcp.reset_on_unmatched = True
+        self._sync_timer.stop()
+        self._hb_timer.stop()
+        for key, state in self._connections.items():
+            if state.tcb.is_synchronized and not state.tcb.isn_rebased:
+                # The send-stream anchor was never learned: this
+                # connection cannot be continued faithfully (§3.2-style
+                # incomplete communication state).
+                self.degraded_connections.append(key)
+                continue
+            state.tcb.takeover()
+        if self.peer_backup_ips:
+            self._promote_to_primary()
+        if self.sim.trace.enabled:
+            self.sim.trace.emit(
+                self.sim.now,
+                "sttcp",
+                "takeover",
+                connections=len(self._connections),
+                degraded=len(self.degraded_connections),
+            )
+
+    def _promote_to_primary(self) -> None:
+        """Become a full primary serving the remaining backups: attach
+        retention to the adopted connections and start heartbeating as
+        the primary so the peers re-target their shadowing."""
+        from repro.sttcp.primary import STTCPPrimary
+
+        engine = STTCPPrimary(
+            self.host,
+            self.service_ip,
+            self.service_port,
+            self.peer_backup_ips,
+            self.config,
+        )
+        for state in self._connections.values():
+            engine.adopt_connection(state.tcb)
+        engine.start()
+        self.promoted_primary = engine
+        if self.sim.trace.enabled:
+            self.sim.trace.emit(
+                self.sim.now, "sttcp", "promoted", peers=len(self.peer_backup_ips)
+            )
+
+    def force_failover(self) -> None:
+        """Administrative failover (tests and planned-maintenance demos)."""
+        if self.role is ROLE_PASSIVE:
+            self.primary_monitor.stop()
+            self._on_primary_suspected()

@@ -1,0 +1,87 @@
+"""Timeout-based failure detection over the heartbeat stream (§4.4).
+
+Both ends run a :class:`HeartbeatMonitor`: the backup watches the
+primary's heartbeats (and ack replies), the primary watches the backup's
+acks.  A peer is *suspected* after ``threshold`` consecutive intervals of
+silence, so detection latency lies in
+``[threshold·interval, (threshold+1)·interval)`` — matching the paper's
+"with an HB every 5 sec, the backup will detect primary crash in 15 to 20
+seconds depending on when exactly the failure occurs" (§6.2).
+
+Suspicions may be wrong; combining the monitor with the power switch
+(:mod:`repro.sttcp.power_switch`) converts wrong suspicions into correct
+ones, giving the perfect failure detector ST-TCP requires (§3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.tcp.timers import RestartableTimer
+
+
+class HeartbeatMonitor:
+    """Suspects a peer after N heartbeat intervals of silence."""
+
+    def __init__(
+        self,
+        sim: Any,
+        interval: float,
+        threshold: int,
+        on_suspect: Callable[[], None],
+        name: str = "hb-monitor",
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.sim = sim
+        self.interval = interval
+        self.threshold = threshold
+        self.on_suspect = on_suspect
+        self.name = name
+        self.last_heard: Optional[float] = None
+        self.suspected = False
+        self.suspected_at: Optional[float] = None
+        self._timer = RestartableTimer(sim, self._check, name)
+        self._running = False
+
+    @property
+    def timeout(self) -> float:
+        return self.threshold * self.interval
+
+    def start(self) -> None:
+        """Begin monitoring; the peer gets a full timeout of grace."""
+        self._running = True
+        self.last_heard = self.sim.now
+        self.suspected = False
+        self.suspected_at = None
+        self._timer.start(self.interval)
+
+    def stop(self) -> None:
+        self._running = False
+        self._timer.stop()
+
+    def heard(self) -> None:
+        """Record evidence of peer liveness (any channel message)."""
+        self.last_heard = self.sim.now
+        if self.suspected:
+            # The protocol never un-suspects (suspicions are made correct
+            # by the power switch); late messages are simply recorded.
+            return
+
+    def _check(self) -> None:
+        if not self._running or self.suspected:
+            return
+        silence = self.sim.now - (self.last_heard or 0.0)
+        if silence > self.timeout:
+            self.suspected = True
+            self.suspected_at = self.sim.now
+            self._running = False
+            if self.sim.trace.enabled:
+                self.sim.trace.emit(
+                    self.sim.now, "sttcp", "suspect", monitor=self.name, silence=silence
+                )
+            self.on_suspect()
+            return
+        self._timer.start(self.interval)

@@ -1,0 +1,118 @@
+"""High-level assembly of an ST-TCP server pair.
+
+:class:`STTCPServerPair` wires the primary and backup engines, launches
+the (identical, deterministic) server application on both hosts, and
+exposes failover metrics.  Topology-level plumbing — how the backup gets
+to *see* the primary's traffic (hub promiscuity, or switched multicast
+MACs with static ARP) — is the scenario builder's job
+(:mod:`repro.harness.scenario`); this module is topology-agnostic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Optional
+
+from repro.errors import ConfigurationError
+from repro.net.addresses import IPAddress
+from repro.sttcp.backup import ROLE_ACTIVE, STTCPBackup
+from repro.sttcp.config import STTCPConfig
+from repro.sttcp.power_switch import PowerSwitch
+from repro.sttcp.primary import STTCPPrimary
+
+
+@dataclasses.dataclass
+class FailoverMetrics:
+    """What happened, when, during a failover (sim timestamps)."""
+
+    primary_crashed_at: Optional[float]
+    suspected_at: Optional[float]
+    takeover_at: Optional[float]
+    degraded_connections: int
+
+    @property
+    def detection_latency(self) -> Optional[float]:
+        if self.primary_crashed_at is None or self.suspected_at is None:
+            return None
+        return self.suspected_at - self.primary_crashed_at
+
+    @property
+    def takeover_latency(self) -> Optional[float]:
+        if self.primary_crashed_at is None or self.takeover_at is None:
+            return None
+        return self.takeover_at - self.primary_crashed_at
+
+
+class STTCPServerPair:
+    """A deployed primary/backup ST-TCP service."""
+
+    def __init__(
+        self,
+        primary_host: Any,
+        backup_host: Any,
+        service_ip: IPAddress,
+        service_port: int,
+        config: Optional[STTCPConfig] = None,
+        power_switch: Optional[PowerSwitch] = None,
+        logger_client: Optional[Any] = None,
+        backup_engine_factory: Optional[Any] = None,
+    ) -> None:
+        if primary_host.sim is not backup_host.sim:
+            raise ConfigurationError("primary and backup must share a simulator")
+        if service_ip not in primary_host.local_ips():
+            raise ConfigurationError(
+                f"service IP {service_ip} not configured on {primary_host.name}"
+            )
+        if service_ip not in backup_host.local_ips():
+            raise ConfigurationError(
+                f"service IP {service_ip} not configured on {backup_host.name}"
+            )
+        self.sim = primary_host.sim
+        self.primary_host = primary_host
+        self.backup_host = backup_host
+        self.service_ip = service_ip
+        self.service_port = service_port
+        self.config = config or STTCPConfig()
+        # The backup must be invisible until failover.
+        backup_host.arp.suppress_ip(service_ip)
+        primary_channel_ip = primary_host.interfaces[0].ip
+        backup_channel_ip = backup_host.interfaces[0].ip
+        self.primary_engine = STTCPPrimary(
+            primary_host, service_ip, service_port, backup_channel_ip, self.config
+        )
+        engine_factory = backup_engine_factory or STTCPBackup
+        self.backup_engine = engine_factory(
+            backup_host,
+            service_ip,
+            service_port,
+            primary_channel_ip,
+            self.config,
+            primary_host=primary_host,
+            power_switch=power_switch,
+            logger_client=logger_client,
+        )
+        self._server_processes: list = []
+
+    def start_service(self, service_time: float = 0.0) -> None:
+        """Launch the server application on both replicas and start the
+        protocol engines."""
+        from repro.apps.server import start_server
+
+        self._server_processes = [
+            start_server(self.primary_host, self.service_port, service_time=service_time),
+            start_server(self.backup_host, self.service_port, service_time=service_time),
+        ]
+        self.primary_engine.start()
+        self.backup_engine.start()
+
+    @property
+    def failed_over(self) -> bool:
+        return self.backup_engine.role is ROLE_ACTIVE
+
+    def failover_metrics(self) -> FailoverMetrics:
+        return FailoverMetrics(
+            primary_crashed_at=self.primary_host.crashed_at,
+            suspected_at=self.backup_engine.detection_time,
+            takeover_at=self.backup_engine.takeover_time,
+            degraded_connections=len(self.backup_engine.degraded_connections),
+        )

@@ -1,0 +1,277 @@
+"""The primary-side ST-TCP engine (§4.2–4.4).
+
+Responsibilities:
+
+* attach a :class:`SecondReceiveBuffer` to every service connection so
+  client bytes survive until the backups acknowledge them;
+* serve the UDP channel: release retained bytes on BACKUP_ACKs (answering
+  each, which doubles as a heartbeat), and answer RETX_REQUESTs from the
+  retained + unread receive data;
+* send periodic heartbeats and monitor each backup's liveness, dropping
+  to non-fault-tolerant mode when the *last* backup dies.
+
+The paper's design allows "one or more backup servers" (§3); with several
+backups a retained byte is only discarded once **every live backup** has
+acknowledged it, and the loss of one backup merely shrinks the ack set.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.net.addresses import IPAddress
+from repro.sttcp.config import STTCPConfig
+from repro.sttcp.failure_detector import HeartbeatMonitor
+from repro.sttcp.messages import (
+    AckReply,
+    BackupAck,
+    ChannelMessage,
+    ConnKey,
+    Heartbeat,
+    RetxData,
+    RetxRequest,
+    conn_key,
+)
+from repro.sttcp.retention import SecondReceiveBuffer
+from repro.tcp.seqspace import unwrap
+from repro.tcp.tcb import TCPConnection
+from repro.tcp.timers import RestartableTimer
+
+#: Payload ceiling per RETX_DATA chunk (fits one Ethernet frame).
+RETX_CHUNK = 1400
+
+
+class _PrimaryConnState:
+    """Per-connection bookkeeping on the primary."""
+
+    __slots__ = ("tcb", "retention", "acked_by")
+
+    def __init__(self, tcb: TCPConnection, retention: SecondReceiveBuffer) -> None:
+        self.tcb = tcb
+        self.retention = retention
+        #: backup channel IP value → highest acked receive-stream offset.
+        self.acked_by: Dict[int, int] = {}
+
+
+class STTCPPrimary:
+    """Primary-side protocol engine for one service endpoint."""
+
+    def __init__(
+        self,
+        host: Any,
+        service_ip: IPAddress,
+        service_port: int,
+        backup_ip: Union[IPAddress, Iterable[IPAddress]],
+        config: Optional[STTCPConfig] = None,
+    ) -> None:
+        self.host = host
+        self.sim = host.sim
+        self.service_ip = service_ip
+        self.service_port = service_port
+        if isinstance(backup_ip, IPAddress):
+            self.backup_ips: List[IPAddress] = [backup_ip]
+        else:
+            self.backup_ips = list(backup_ip)
+        if not self.backup_ips:
+            raise ValueError("at least one backup address is required")
+        self.config = config or STTCPConfig()
+        self.config.validate()
+        self.fault_tolerant = True
+        self.backup_failed_at: Optional[float] = None
+        self._connections: Dict[ConnKey, _PrimaryConnState] = {}
+        self._hb_sequence = 0
+        self._started = False
+        # Channel socket on the primary's own (non-virtual) address.  A
+        # promoted backup already owns a channel socket on this port; in
+        # that case the engine is handed the existing one.
+        existing = getattr(host, "_sttcp_channel_socket", None)
+        if existing is not None and not existing.closed:
+            self.channel = existing
+        else:
+            self.channel = host.udp.socket(self.config.channel_port)
+            host._sttcp_channel_socket = self.channel
+        self.channel.on_datagram = self._on_channel_message
+        self._hb_timer = RestartableTimer(self.sim, self._send_heartbeat, "primary-hb")
+        self.backup_monitors: Dict[int, HeartbeatMonitor] = {}
+        for ip_addr in self.backup_ips:
+            self.backup_monitors[ip_addr.value] = HeartbeatMonitor(
+                self.sim,
+                self.config.hb_interval,
+                self.config.hb_miss_threshold,
+                lambda value=ip_addr.value: self._on_backup_suspected(value),
+                name=f"{host.name}.backup-monitor.{ip_addr}",
+            )
+        host.tcp.connection_observers.append(self._on_new_connection)
+        # Counters.
+        self.acks_received = 0
+        self.retx_requests_served = 0
+        self.retx_bytes_sent = 0
+
+    # Lifecycle --------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin heartbeating and monitoring the backups."""
+        if self._started:
+            return
+        self._started = True
+        for monitor in self.backup_monitors.values():
+            monitor.start()
+        self._hb_timer.start(self.config.hb_interval)
+
+    def stop(self) -> None:
+        self._started = False
+        self._hb_timer.stop()
+        for monitor in self.backup_monitors.values():
+            monitor.stop()
+
+    # Backup-set queries ---------------------------------------------------------------
+    def live_backup_values(self) -> List[int]:
+        return [
+            value
+            for value, monitor in self.backup_monitors.items()
+            if not monitor.suspected
+        ]
+
+    # Connection hook -----------------------------------------------------------------
+    def _on_new_connection(self, tcb: TCPConnection) -> None:
+        if tcb.shadow_mode:
+            return
+        if tcb.local_ip != self.service_ip or tcb.local_port != self.service_port:
+            return
+        capacity = self.config.second_buffer_size or tcb.config.rcv_buffer
+        retention = SecondReceiveBuffer(capacity)
+        if not self.fault_tolerant:
+            retention.disable()
+        tcb.recv_buffer.retention = retention
+        self._connections[conn_key(tcb.remote_ip, tcb.remote_port)] = _PrimaryConnState(
+            tcb, retention
+        )
+        if self.sim.trace.enabled:
+            self.sim.trace.emit(
+                self.sim.now,
+                "sttcp",
+                "primary_attach",
+                client=f"{tcb.remote_ip}:{tcb.remote_port}",
+            )
+
+    def adopt_connection(self, tcb: TCPConnection) -> None:
+        """Attach retention to a live connection (a promoted backup's
+        former shadow): the second buffer starts at the connection's
+        current read position."""
+        if not tcb.is_synchronized:
+            return
+        capacity = self.config.second_buffer_size or tcb.config.rcv_buffer
+        retention = SecondReceiveBuffer(capacity)
+        retention.prime_at(tcb.recv_buffer.read_offset)
+        if not self.fault_tolerant:
+            retention.disable()
+        tcb.recv_buffer.retention = retention
+        self._connections[conn_key(tcb.remote_ip, tcb.remote_port)] = _PrimaryConnState(
+            tcb, retention
+        )
+
+    def connection_state(self, key: ConnKey) -> Optional[_PrimaryConnState]:
+        return self._connections.get(key)
+
+    # Heartbeats -----------------------------------------------------------------------
+    def _send_heartbeat(self) -> None:
+        if not self._started or not self.host.is_up:
+            return
+        self._hb_sequence += 1
+        message = Heartbeat("primary", self._hb_sequence)
+        for ip_addr in self.backup_ips:
+            monitor = self.backup_monitors[ip_addr.value]
+            if not monitor.suspected:
+                self._send(message, ip_addr)
+        self._hb_timer.start(self.config.hb_interval)
+
+    def _send(self, message: ChannelMessage, target: IPAddress) -> None:
+        self.channel.send_to((target, self.config.channel_port), message, message.wire_size)
+
+    # Channel input -----------------------------------------------------------------------
+    def _on_channel_message(self, message: Any, addr: Tuple[IPAddress, int]) -> None:
+        if not self.host.is_up:
+            return
+        source_value = addr[0].value
+        monitor = self.backup_monitors.get(source_value)
+        if monitor is not None:
+            monitor.heard()
+        if isinstance(message, BackupAck):
+            self._handle_backup_ack(message, addr[0])
+        elif isinstance(message, RetxRequest):
+            self._handle_retx_request(message, addr[0])
+        # Heartbeats carry liveness only.
+
+    def _handle_backup_ack(self, ack: BackupAck, source: IPAddress) -> None:
+        self.acks_received += 1
+        state = self._connections.get(ack.key)
+        if state is not None:
+            tcb = state.tcb
+            ack_abs = unwrap(ack.ack_seq, tcb.rcv_nxt)
+            offset = tcb._rcv_offset(ack_abs)
+            previous = state.acked_by.get(source.value, 0)
+            if offset > previous:
+                state.acked_by[source.value] = offset
+            freed = self._release_retained(state)
+            if freed and tcb.is_synchronized:
+                # Window may have been pinched by retention overflow;
+                # releasing bytes can reopen it.
+                tcb._maybe_send_window_update(0)
+        # The reply doubles as the primary→backup heartbeat (§4.3).
+        self._send(AckReply(ack.key, ack.ack_seq), source)
+
+    def _release_retained(self, state: _PrimaryConnState) -> int:
+        """Discard retained bytes every *live* backup has acknowledged."""
+        live = self.live_backup_values()
+        if not live:
+            return 0
+        floor = min(state.acked_by.get(value, 0) for value in live)
+        return state.retention.backup_acked(floor)
+
+    def _handle_retx_request(self, request: RetxRequest, source: IPAddress) -> None:
+        state = self._connections.get(request.key)
+        if state is None:
+            return
+        tcb = state.tcb
+        start_abs = unwrap(request.start_seq, tcb.rcv_nxt)
+        stop_abs = unwrap(request.stop_seq, tcb.rcv_nxt)
+        if stop_abs <= start_abs:
+            return
+        start_offset = tcb._rcv_offset(start_abs)
+        stop_offset = tcb._rcv_offset(stop_abs)
+        data = tcb.fetch_received_range(start_offset, stop_offset)
+        if len(data) == 0:
+            return
+        self.retx_requests_served += 1
+        # Chunk into frame-sized RETX_DATA messages.
+        for piece_start in range(0, len(data), RETX_CHUNK):
+            piece = data.slice(piece_start, min(piece_start + RETX_CHUNK, len(data)))
+            seq32 = (start_abs + piece_start) & 0xFFFFFFFF
+            self.retx_bytes_sent += len(piece)
+            self._send(RetxData(request.key, seq32, piece), source)
+
+    # Backup failure ---------------------------------------------------------------------
+    def _on_backup_suspected(self, backup_value: int) -> None:
+        """One backup died: shrink the ack set; if it was the last, drop
+        to non-fault-tolerant mode (§4.4)."""
+        if not self.host.is_up:
+            return
+        if self.sim.trace.enabled:
+            self.sim.trace.emit(
+                self.sim.now, "sttcp", "backup_suspected", remaining=len(self.live_backup_values())
+            )
+        if self.live_backup_values():
+            # Survivors may have acked further than the dead backup did.
+            for state in self._connections.values():
+                freed = self._release_retained(state)
+                if freed and state.tcb.is_synchronized:
+                    state.tcb._maybe_send_window_update(0)
+            return
+        self.fault_tolerant = False
+        self.backup_failed_at = self.sim.now
+        for state in self._connections.values():
+            state.retention.disable()
+            if state.tcb.is_synchronized:
+                state.tcb._maybe_send_window_update(0)
+        self._hb_timer.stop()
+        if self.sim.trace.enabled:
+            self.sim.trace.emit(self.sim.now, "sttcp", "non_fault_tolerant_mode")

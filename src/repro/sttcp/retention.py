@@ -1,0 +1,108 @@
+"""The primary's second receive buffer (§4.2, Figure 4).
+
+Standard TCP discards a received byte once the application reads it.  An
+ST-TCP primary must hold it until the backup has acknowledged it over the
+UDP channel, because a byte the backup missed on the tap can only be
+repaired from here — the client purged it from its send buffer the moment
+the primary ACKed.
+
+The paper doubles the receive allocation and manages the extra space as a
+logically separate second buffer: read-but-unacked bytes move there, and
+only when the second buffer overflows do retained bytes start consuming
+advertised window (the sole externally visible deviation from standard
+TCP, §4.2).
+"""
+
+from __future__ import annotations
+
+from repro.errors import FailoverError
+from repro.tcp.recv_buffer import RetentionPolicy
+from repro.util.bytespan import EMPTY, ByteSpan
+from repro.util.spanbuffer import SpanBuffer
+
+
+class SecondReceiveBuffer(RetentionPolicy):
+    """Retains application-read bytes until the backup acknowledges them."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"second buffer capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.enabled = True
+        self._store = SpanBuffer()  # head = oldest retained offset
+        # Counters for the sync-strategy ablation (A1).
+        self.bytes_retained_total = 0
+        self.bytes_released_total = 0
+        self.peak_usage = 0
+        self.overflow_byte_peak = 0
+
+    def prime_at(self, offset: int) -> None:
+        """Start retention at ``offset`` (used when a promoted backup's
+        former shadow connection gains a second buffer mid-stream)."""
+        if len(self._store) or self._store.head_offset:
+            raise FailoverError("prime_at on a buffer that already retained data")
+        self._store.discard_front(0)
+        self._store.head_offset = offset
+
+    # RetentionPolicy ------------------------------------------------------------
+    def on_read(self, start_offset: int, span: ByteSpan) -> None:
+        if not self.enabled:
+            return
+        if start_offset != self._store.tail_offset:
+            raise FailoverError(
+                f"non-contiguous retention: read at {start_offset}, "
+                f"retained through {self._store.tail_offset}"
+            )
+        self._store.append(span)
+        self.bytes_retained_total += len(span)
+        usage = len(self._store)
+        if usage > self.peak_usage:
+            self.peak_usage = usage
+        overflow = self.overflow_bytes()
+        if overflow > self.overflow_byte_peak:
+            self.overflow_byte_peak = overflow
+
+    def overflow_bytes(self) -> int:
+        if not self.enabled:
+            return 0
+        return max(0, len(self._store) - self.capacity)
+
+    # ST-TCP engine API ------------------------------------------------------------
+    @property
+    def retained_bytes(self) -> int:
+        return len(self._store)
+
+    @property
+    def lowest_retained_offset(self) -> int:
+        return self._store.head_offset
+
+    def backup_acked(self, offset: int) -> int:
+        """Release retained bytes below ``offset``; returns bytes freed.
+
+        The backup acks its NextByteExpected, which can run ahead of what
+        the primary's application has read; the release is clamped to the
+        retained range.
+        """
+        if not self.enabled:
+            return 0
+        target = min(offset, self._store.tail_offset)
+        freed = target - self._store.head_offset
+        if freed <= 0:
+            return 0
+        self._store.discard_front(freed)
+        self.bytes_released_total += freed
+        return freed
+
+    def fetch(self, start_offset: int, stop_offset: int) -> ByteSpan:
+        """Bytes [start, stop) ∩ retained range, for recovery service."""
+        lo = max(start_offset, self._store.head_offset)
+        hi = min(stop_offset, self._store.tail_offset)
+        if lo >= hi:
+            return EMPTY
+        return self._store.peek_absolute(lo, hi)
+
+    def disable(self) -> None:
+        """Backup declared failed: revert to standard-TCP semantics
+        (non-fault-tolerant mode, §4.4)."""
+        self.enabled = False
+        self._store.clear()

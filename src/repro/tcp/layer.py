@@ -1,0 +1,214 @@
+"""The per-host TCP layer: demultiplexing, listeners, ISN generation.
+
+ST-TCP integration: setting :attr:`TCPLayer.shadow_factory` (done by the
+backup engine) makes every passively opened connection a *shadow* —
+output-suppressed, ISN-synchronising — without touching listener or
+application code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConnectionClosed, PortInUseError
+from repro.ip.datagram import PROTO_TCP, IPDatagram
+from repro.net.addresses import IPAddress
+from repro.net.nic import NIC
+from repro.tcp.config import TCPConfig
+from repro.tcp.constants import SEQ_MASK
+from repro.tcp.listener import TCPListener
+from repro.tcp.segment import TCPSegment, make_rst
+from repro.tcp.socket import TCPSocket
+from repro.tcp.tcb import TCPConnection
+
+EPHEMERAL_PORT_START = 32768
+EPHEMERAL_PORT_END = 60999
+
+ConnectionKey = Tuple[int, int, int, int]
+ConnectionCallback = Callable[[TCPConnection], None]
+
+
+class TCPLayer:
+    """Owns all TCP state of one host."""
+
+    def __init__(self, sim: Any, host: Any, config: Optional[TCPConfig] = None) -> None:
+        self.sim = sim
+        self.host = host
+        self.config = config or TCPConfig()
+        self._connections: Dict[ConnectionKey, TCPConnection] = {}
+        self._listeners: Dict[Tuple[Optional[int], int], TCPListener] = {}
+        self._next_ephemeral = EPHEMERAL_PORT_START
+        #: When set (ST-TCP backup), passive opens become shadow TCBs and
+        #: the callback is invoked for each one.
+        self.shadow_factory: Optional[ConnectionCallback] = None
+        #: Observers invoked for every passive open (ST-TCP primary uses
+        #: this to attach retention to new connections).
+        self.connection_observers: List[ConnectionCallback] = []
+        #: Answer unmatched segments with RST (real-stack behaviour).
+        self.reset_on_unmatched = True
+        self.segments_demuxed = 0
+        self.segments_unmatched = 0
+        self.resets_sent = 0
+        host.ip_layer.register_protocol(PROTO_TCP, self._receive)
+
+    # ISN ----------------------------------------------------------------------
+    def generate_isn(self) -> int:
+        """A random 32-bit initial sequence number.
+
+        Primary and backup draw from *different* host-named streams, so
+        their ISNs differ — which is precisely why the shadow handshake
+        must rebase (§4.1).
+        """
+        rng = self.sim.random.stream(f"tcp.isn.{self.host.name}")
+        return rng.randrange(0, SEQ_MASK)
+
+    # Active open -----------------------------------------------------------------
+    def connect(
+        self,
+        remote: Tuple[IPAddress, int],
+        local_ip: Optional[IPAddress] = None,
+        local_port: Optional[int] = None,
+        config: Optional[TCPConfig] = None,
+    ) -> TCPSocket:
+        """Begin an active open; returns the socket immediately.
+
+        ``yield sock.wait_connected()`` to block until established.
+        """
+        remote_ip, remote_port = remote
+        if local_ip is None:
+            route = self.host.ip_layer.routes.lookup(remote_ip)
+            if route is None:
+                raise ConnectionClosed(f"no route to {remote_ip}")
+            local_ip = route.src_ip or self.host.primary_ip_on(route.nic)
+        if local_port is None:
+            local_port = self._allocate_ephemeral(local_ip, remote_ip, remote_port)
+        key = (local_ip.value, local_port, remote_ip.value, remote_port)
+        if key in self._connections:
+            raise PortInUseError(f"connection {key} already exists")
+        tcb = TCPConnection(
+            self, local_ip, local_port, remote_ip, remote_port, config or self.config
+        )
+        self._connections[key] = tcb
+        socket = TCPSocket(tcb)
+        tcb.open_active()
+        return socket
+
+    def _allocate_ephemeral(
+        self, local_ip: IPAddress, remote_ip: IPAddress, remote_port: int
+    ) -> int:
+        start = self._next_ephemeral
+        port = start
+        while True:
+            key = (local_ip.value, port, remote_ip.value, remote_port)
+            if key not in self._connections:
+                break
+            port += 1
+            if port > EPHEMERAL_PORT_END:
+                port = EPHEMERAL_PORT_START
+            if port == start:
+                raise PortInUseError(f"no free TCP ports on {self.host.name}")
+        self._next_ephemeral = port + 1
+        if self._next_ephemeral > EPHEMERAL_PORT_END:
+            self._next_ephemeral = EPHEMERAL_PORT_START
+        return port
+
+    # Passive open -------------------------------------------------------------------
+    def listen(
+        self,
+        port: int,
+        bind_ip: Optional[IPAddress] = None,
+        backlog: int = 128,
+        config: Optional[TCPConfig] = None,
+    ) -> TCPListener:
+        """Open a listening endpoint on ``port``."""
+        lkey = (bind_ip.value if bind_ip else None, port)
+        if lkey in self._listeners:
+            raise PortInUseError(f"TCP port {port} already listening on {self.host.name}")
+        listener = TCPListener(self, port, bind_ip, backlog)
+        if config is not None:
+            listener.config = config  # type: ignore[attr-defined]
+        self._listeners[lkey] = listener
+        return listener
+
+    def remove_listener(self, listener: TCPListener) -> None:
+        lkey = (listener.bind_ip.value if listener.bind_ip else None, listener.port)
+        self._listeners.pop(lkey, None)
+
+    def _find_listener(self, dst_ip: IPAddress, port: int) -> Optional[TCPListener]:
+        listener = self._listeners.get((dst_ip.value, port))
+        if listener is None:
+            listener = self._listeners.get((None, port))
+        return listener
+
+    # Demux -----------------------------------------------------------------------------
+    def _receive(self, datagram: IPDatagram, nic: Optional[NIC]) -> None:
+        segment: TCPSegment = datagram.payload
+        key = (datagram.dst.value, segment.dst_port, datagram.src.value, segment.src_port)
+        tcb = self._connections.get(key)
+        if tcb is not None:
+            self.segments_demuxed += 1
+            tcb.on_segment(segment)
+            return
+        if segment.is_syn and not segment.is_ack:
+            listener = self._find_listener(datagram.dst, segment.dst_port)
+            if listener is not None and listener.may_accept_syn():
+                self._passive_open(listener, datagram, segment)
+                return
+        self.segments_unmatched += 1
+        if self.reset_on_unmatched and not segment.is_rst:
+            self._send_unmatched_rst(datagram, segment)
+
+    def _passive_open(
+        self, listener: TCPListener, datagram: IPDatagram, syn: TCPSegment
+    ) -> None:
+        config = getattr(listener, "config", None) or self.config
+        shadow = self.shadow_factory is not None
+        tcb = TCPConnection(
+            self,
+            datagram.dst,
+            syn.dst_port,
+            datagram.src,
+            syn.src_port,
+            config,
+            shadow_mode=shadow,
+        )
+        key = tcb.key
+        self._connections[key] = tcb
+        listener.track_handshake(tcb)
+        if self.shadow_factory is not None:
+            self.shadow_factory(tcb)
+        for observer in self.connection_observers:
+            observer(tcb)
+        tcb.open_passive(syn)
+
+    def _send_unmatched_rst(self, datagram: IPDatagram, segment: TCPSegment) -> None:
+        if segment.is_ack:
+            rst = make_rst(segment.dst_port, segment.src_port, segment.ack, 0, False)
+        else:
+            answer = (segment.seq + segment.sequence_space_length) & SEQ_MASK
+            rst = make_rst(segment.dst_port, segment.src_port, 0, answer, True)
+        self.resets_sent += 1
+        self.host.ip_layer.send(
+            datagram.src, PROTO_TCP, rst, rst.size, src=datagram.dst
+        )
+
+    # Outbound -----------------------------------------------------------------------------
+    def send_segment(self, tcb: TCPConnection, segment: TCPSegment) -> None:
+        self.host.ip_layer.send(
+            tcb.remote_ip, PROTO_TCP, segment, segment.size, src=tcb.local_ip
+        )
+
+    # Lifecycle ------------------------------------------------------------------------------
+    def connection_closed(self, tcb: TCPConnection) -> None:
+        self._connections.pop(tcb.key, None)
+
+    @property
+    def connections(self) -> List[TCPConnection]:
+        return list(self._connections.values())
+
+    def find_connection(
+        self, local_ip: IPAddress, local_port: int, remote_ip: IPAddress, remote_port: int
+    ) -> Optional[TCPConnection]:
+        return self._connections.get(
+            (local_ip.value, local_port, remote_ip.value, remote_port)
+        )

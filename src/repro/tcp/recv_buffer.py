@@ -1,0 +1,191 @@
+"""The TCP receive buffer: in-order data plus out-of-order reassembly.
+
+The buffer also hosts the ST-TCP *retention* hook (§4.2, Figure 4): a
+standard TCP discards a byte once the application has read it, but an
+ST-TCP primary must keep it until the backup acknowledges it over the UDP
+channel.  A :class:`RetentionPolicy` captures read bytes into the "second
+receive buffer"; bytes that do not fit there keep occupying advertised
+window (``overflow_bytes``), reproducing the paper's behaviour when the
+backup falls behind.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.util.bytespan import EMPTY, ByteSpan, concat
+from repro.util.spanbuffer import SpanBuffer
+
+
+class RetentionPolicy:
+    """Interface the primary's ST-TCP engine plugs into the receive path."""
+
+    def on_read(self, start_offset: int, span: ByteSpan) -> None:
+        """Bytes [start_offset, start_offset+len) were read by the app."""
+        raise NotImplementedError
+
+    def overflow_bytes(self) -> int:
+        """Read-but-unreleased bytes that exceed the second buffer and must
+        keep occupying the first buffer's advertised window."""
+        raise NotImplementedError
+
+
+class ReceiveBuffer:
+    """Reassembly buffer for one direction of a connection.
+
+    Offsets are stream offsets (byte 0 ⇔ sequence IRS+1).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"recv buffer capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._ready = SpanBuffer()  # head = read pointer, tail = rcv_nxt
+        self._out_of_order: List[Tuple[int, ByteSpan]] = []  # sorted, disjoint
+        self.retention: Optional[RetentionPolicy] = None
+        self.bytes_duplicated = 0  # duplicate payload discarded
+
+    # Pointers ---------------------------------------------------------------
+    @property
+    def read_offset(self) -> int:
+        """Offset of the next byte the application will read."""
+        return self._ready.head_offset
+
+    @property
+    def rcv_nxt_offset(self) -> int:
+        """Offset of the next in-order byte expected from the network."""
+        return self._ready.tail_offset
+
+    @property
+    def available(self) -> int:
+        """In-order bytes ready for the application."""
+        return len(self._ready)
+
+    @property
+    def out_of_order_bytes(self) -> int:
+        return sum(len(span) for _, span in self._out_of_order)
+
+    def window(self) -> int:
+        """Advertised window: free space in the (first) receive buffer.
+
+        Retained-but-overflowing bytes (ST-TCP second buffer full) continue
+        to consume window, per §4.2.
+        """
+        used = len(self._ready) + self.out_of_order_bytes
+        if self.retention is not None:
+            used += self.retention.overflow_bytes()
+        return max(self.capacity - used, 0)
+
+    # Network side --------------------------------------------------------------
+    def insert(self, start_offset: int, span: ByteSpan) -> int:
+        """Insert payload at ``start_offset``; returns rcv_nxt advancement.
+
+        Overlaps with already-received data are discarded.  The caller is
+        responsible for having trimmed the segment to the advertised
+        window; anything beyond ``rcv_nxt + window`` here is clipped as a
+        safety net.
+        """
+        length = len(span)
+        if length == 0:
+            return 0
+        rcv_nxt = self.rcv_nxt_offset
+        limit = rcv_nxt + self.window()
+        stop_offset = start_offset + length
+        # Clip below rcv_nxt (already received) and above the window.
+        if stop_offset <= rcv_nxt:
+            self.bytes_duplicated += length
+            return 0
+        if start_offset < rcv_nxt:
+            self.bytes_duplicated += rcv_nxt - start_offset
+            span = span.slice(rcv_nxt - start_offset, length)
+            start_offset = rcv_nxt
+        if start_offset + len(span) > limit:
+            overflow = start_offset + len(span) - limit
+            if overflow >= len(span):
+                return 0
+            span = span.slice(0, len(span) - overflow)
+        if start_offset > rcv_nxt:
+            self._stash_out_of_order(start_offset, span)
+            return 0
+        # In-order: append, then drain any out-of-order runs now contiguous.
+        self._ready.append(span)
+        advanced = len(span)
+        advanced += self._drain_out_of_order()
+        return advanced
+
+    def _stash_out_of_order(self, start: int, span: ByteSpan) -> None:
+        """Insert into the sorted, disjoint out-of-order list, clipping any
+        bytes already held."""
+        stop = start + len(span)
+        pieces: List[Tuple[int, ByteSpan]] = []
+        cursor = start
+        for held_start, held_span in self._out_of_order:
+            held_stop = held_start + len(held_span)
+            if held_stop <= cursor:
+                continue
+            if held_start >= stop:
+                break
+            if held_start > cursor:
+                pieces.append((cursor, span.slice(cursor - start, held_start - start)))
+            overlap_stop = min(held_stop, stop)
+            if overlap_stop > cursor:
+                self.bytes_duplicated += overlap_stop - max(cursor, held_start)
+            cursor = max(cursor, held_stop)
+        if cursor < stop:
+            pieces.append((cursor, span.slice(cursor - start, stop - start)))
+        if not pieces:
+            return
+        merged = self._out_of_order + pieces
+        merged.sort(key=lambda item: item[0])
+        self._out_of_order = merged
+
+    def _drain_out_of_order(self) -> int:
+        advanced = 0
+        while self._out_of_order:
+            start, span = self._out_of_order[0]
+            rcv_nxt = self.rcv_nxt_offset
+            stop = start + len(span)
+            if start > rcv_nxt:
+                break
+            self._out_of_order.pop(0)
+            if stop <= rcv_nxt:
+                self.bytes_duplicated += len(span)
+                continue
+            if start < rcv_nxt:
+                self.bytes_duplicated += rcv_nxt - start
+                span = span.slice(rcv_nxt - start, len(span))
+            self._ready.append(span)
+            advanced += len(span)
+        return advanced
+
+    def first_gap(self) -> Optional[Tuple[int, int]]:
+        """The first missing range [rcv_nxt, start-of-next-ooo-run), if any
+        out-of-order data is waiting behind a hole."""
+        if not self._out_of_order:
+            return None
+        return (self.rcv_nxt_offset, self._out_of_order[0][0])
+
+    # Application side ---------------------------------------------------------
+    def read(self, max_bytes: int) -> ByteSpan:
+        """Pop up to ``max_bytes`` of in-order data for the application.
+
+        Read bytes are offered to the retention policy (ST-TCP primary)
+        before leaving the buffer.
+        """
+        count = min(max_bytes, len(self._ready))
+        if count <= 0:
+            return EMPTY
+        start = self._ready.head_offset
+        span = self._ready.pop_front(count)
+        if self.retention is not None:
+            self.retention.on_read(start, span)
+        return span
+
+    def peek_unread(self, start: int, stop: int) -> ByteSpan:
+        """Zero-copy view of not-yet-read in-order bytes (for ST-TCP
+        recovery service)."""
+        lo = max(start, self._ready.head_offset)
+        hi = min(stop, self._ready.tail_offset)
+        if lo >= hi:
+            return EMPTY
+        return self._ready.peek_absolute(lo, hi)

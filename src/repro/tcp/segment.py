@@ -1,0 +1,166 @@
+"""TCP segments and options.
+
+Payloads are :class:`~repro.util.bytespan.ByteSpan` objects; size
+accounting includes the 20-byte base header plus any options carried.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.tcp.constants import (
+    FLAG_ACK,
+    FLAG_FIN,
+    FLAG_PSH,
+    FLAG_RST,
+    FLAG_SYN,
+    SEQ_MASK,
+    TCP_HEADER_SIZE,
+)
+from repro.util.bytespan import EMPTY, ByteSpan
+
+#: Option wire sizes (including padding to 32-bit boundaries as on Linux).
+MSS_OPTION_SIZE = 4
+TIMESTAMP_OPTION_SIZE = 12
+
+_segment_ids = itertools.count(1)
+
+
+class TCPSegment:
+    """One TCP segment in flight."""
+
+    __slots__ = (
+        "src_port",
+        "dst_port",
+        "seq",
+        "ack",
+        "flags",
+        "window",
+        "payload",
+        "mss_option",
+        "ts_val",
+        "ts_ecr",
+        "segment_id",
+    )
+
+    def __init__(
+        self,
+        src_port: int,
+        dst_port: int,
+        seq: int,
+        ack: int,
+        flags: int,
+        window: int,
+        payload: ByteSpan = EMPTY,
+        mss_option: Optional[int] = None,
+        ts_val: Optional[float] = None,
+        ts_ecr: Optional[float] = None,
+    ) -> None:
+        if not 0 <= seq <= SEQ_MASK:
+            raise ValueError(f"seq {seq} outside 32-bit space")
+        if not 0 <= ack <= SEQ_MASK:
+            raise ValueError(f"ack {ack} outside 32-bit space")
+        if window < 0:
+            raise ValueError(f"negative window {window}")
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.seq = seq
+        self.ack = ack
+        self.flags = flags
+        self.window = min(window, 0xFFFF)
+        self.payload = payload
+        self.mss_option = mss_option
+        self.ts_val = ts_val
+        self.ts_ecr = ts_ecr
+        self.segment_id = next(_segment_ids)
+
+    # Flag accessors ------------------------------------------------------------
+    @property
+    def is_syn(self) -> bool:
+        return bool(self.flags & FLAG_SYN)
+
+    @property
+    def is_ack(self) -> bool:
+        return bool(self.flags & FLAG_ACK)
+
+    @property
+    def is_fin(self) -> bool:
+        return bool(self.flags & FLAG_FIN)
+
+    @property
+    def is_rst(self) -> bool:
+        return bool(self.flags & FLAG_RST)
+
+    @property
+    def is_psh(self) -> bool:
+        return bool(self.flags & FLAG_PSH)
+
+    # Sizing ----------------------------------------------------------------------
+    @property
+    def header_size(self) -> int:
+        size = TCP_HEADER_SIZE
+        if self.mss_option is not None:
+            size += MSS_OPTION_SIZE
+        if self.ts_val is not None:
+            size += TIMESTAMP_OPTION_SIZE
+        return size
+
+    @property
+    def payload_length(self) -> int:
+        return len(self.payload)
+
+    @property
+    def size(self) -> int:
+        return self.header_size + self.payload_length
+
+    @property
+    def sequence_space_length(self) -> int:
+        """Bytes of sequence space consumed: payload plus SYN/FIN flags."""
+        length = self.payload_length
+        if self.is_syn:
+            length += 1
+        if self.is_fin:
+            length += 1
+        return length
+
+    def flag_string(self) -> str:
+        """Compact flag rendering, e.g. ``"SA"`` for SYN/ACK."""
+        parts = []
+        if self.is_syn:
+            parts.append("S")
+        if self.is_fin:
+            parts.append("F")
+        if self.is_rst:
+            parts.append("R")
+        if self.is_psh:
+            parts.append("P")
+        if self.is_ack:
+            parts.append("A")
+        return "".join(parts) or "."
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<TCP {self.src_port}->{self.dst_port} [{self.flag_string()}] "
+            f"seq={self.seq} ack={self.ack} len={self.payload_length} "
+            f"win={self.window}>"
+        )
+
+
+def make_rst(src_port: int, dst_port: int, seq: int, ack: int, with_ack: bool) -> TCPSegment:
+    """Build the RST answering an unmatched segment (RFC 793 §3.4)."""
+    flags = FLAG_RST | (FLAG_ACK if with_ack else 0)
+    return TCPSegment(src_port, dst_port, seq, ack, flags, window=0)
+
+
+__all__ = [
+    "MSS_OPTION_SIZE",
+    "TCPSegment",
+    "TIMESTAMP_OPTION_SIZE",
+    "make_rst",
+    "FLAG_ACK",
+    "FLAG_FIN",
+    "FLAG_PSH",
+    "FLAG_RST",
+    "FLAG_SYN",
+]

@@ -1,0 +1,61 @@
+"""The TCP send buffer: app data awaiting transmission or acknowledgment.
+
+Offsets are *stream offsets*: byte 0 is the first application byte on the
+connection (sequence number ISS+1).  The TCB owns the seq↔offset mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.util.bytespan import ByteSpan, as_span
+from repro.util.spanbuffer import SpanBuffer
+
+
+class SendBuffer:
+    """Bytes between ``snd_una`` (head) and the last byte the app wrote."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"send buffer capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._data = SpanBuffer()
+
+    # Occupancy -----------------------------------------------------------------
+    @property
+    def una_offset(self) -> int:
+        """Offset of the oldest unacknowledged byte."""
+        return self._data.head_offset
+
+    @property
+    def tail_offset(self) -> int:
+        """Offset one past the last byte the application has written."""
+        return self._data.tail_offset
+
+    @property
+    def free_space(self) -> int:
+        return self.capacity - len(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    # Mutation -------------------------------------------------------------------
+    def append(self, data: Union[ByteSpan, bytes]) -> int:
+        """Append as much of ``data`` as fits; returns bytes accepted."""
+        span = as_span(data)
+        accepted = min(len(span), self.free_space)
+        if accepted > 0:
+            self._data.append(span.slice(0, accepted))
+        return accepted
+
+    def ack_to(self, offset: int) -> int:
+        """Release bytes below ``offset``; returns bytes freed."""
+        freed = offset - self._data.head_offset
+        if freed <= 0:
+            return 0
+        self._data.discard_front(freed)
+        return freed
+
+    def data_range(self, start: int, stop: int) -> ByteSpan:
+        """Zero-copy view of [start, stop) for (re)transmission."""
+        return self._data.peek_absolute(start, stop)

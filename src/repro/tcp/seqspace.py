@@ -1,0 +1,55 @@
+"""32-bit sequence-number arithmetic.
+
+Segments carry 32-bit (wrapped) sequence numbers on the wire, as real TCP
+does; connection state is kept in *unwrapped* absolute integers.  The
+bridge is :func:`unwrap`, which maps a wire value to the absolute value
+closest to a reference point — correct as long as the true value lies
+within ±2³¹ of the reference, which TCP's window rules guarantee.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.constants import SEQ_MASK, SEQ_SPACE
+
+HALF_SPACE = SEQ_SPACE // 2
+
+
+def wrap(seq_abs: int) -> int:
+    """Absolute sequence value → 32-bit wire value."""
+    return seq_abs & SEQ_MASK
+
+
+def unwrap(seq32: int, reference_abs: int) -> int:
+    """Wire value → the absolute value nearest ``reference_abs``.
+
+    ``reference_abs`` may be any non-negative absolute sequence position
+    (typically ``rcv_nxt`` for sequence fields and ``snd_una`` for ack
+    fields).
+    """
+    if not 0 <= seq32 < SEQ_SPACE:
+        raise ValueError(f"wire sequence {seq32} out of 32-bit range")
+    base = reference_abs - (reference_abs & SEQ_MASK)
+    candidate = base + seq32
+    # Shift by one epoch in whichever direction lands closer.
+    if candidate - reference_abs > HALF_SPACE and candidate >= SEQ_SPACE:
+        candidate -= SEQ_SPACE
+    elif reference_abs - candidate > HALF_SPACE:
+        candidate += SEQ_SPACE
+    return candidate
+
+
+def seq_lt(a: int, b: int) -> bool:
+    """``a < b`` in wrapped 32-bit sequence space."""
+    return ((a - b) & SEQ_MASK) > HALF_SPACE
+
+
+def seq_le(a: int, b: int) -> bool:
+    return a == b or seq_lt(a, b)
+
+
+def seq_gt(a: int, b: int) -> bool:
+    return seq_lt(b, a)
+
+
+def seq_ge(a: int, b: int) -> bool:
+    return a == b or seq_lt(b, a)

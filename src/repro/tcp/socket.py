@@ -1,0 +1,245 @@
+"""The application-facing TCP socket.
+
+Wraps a :class:`~repro.tcp.tcb.TCPConnection` with waitable operations for
+coroutine processes::
+
+    sock = host.tcp.connect((server_ip, 80))
+    yield sock.wait_connected()
+    yield sock.send(b"GET /")
+    reply = yield sock.recv_exactly(1024)
+    sock.close()
+    yield sock.wait_closed()
+
+``send`` completes when *all* bytes have been accepted into the send
+buffer (not when acknowledged); ``recv`` completes with at least one byte
+or EOF (an empty span); ``recv_exactly`` accumulates and fails if the peer
+closes early.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Optional, Union
+
+from repro.errors import ConnectionClosed
+from repro.sim.events import SimEvent
+from repro.tcp.constants import TCPState
+from repro.tcp.tcb import TCPConnection
+from repro.util.bytespan import EMPTY, ByteSpan, as_span, concat
+
+
+class TCPSocket:
+    """A connection handle for application processes."""
+
+    def __init__(self, tcb: TCPConnection) -> None:
+        self._tcb = tcb
+        self.sim = tcb.sim
+        self._connect_event: Optional[SimEvent] = None
+        self._closed_event: Optional[SimEvent] = None
+        self._writers: Deque[Dict[str, Any]] = deque()
+        self._readers: Deque[Dict[str, Any]] = deque()
+        self._error: Optional[BaseException] = None
+        self._pumping_writers = False
+        tcb.on_established = self._on_established
+        tcb.on_readable = self._on_readable
+        tcb.on_writable = self._on_writable
+        tcb.on_closed = self._on_closed
+        tcb.on_error = self._on_error
+
+    # Introspection ------------------------------------------------------------
+    @property
+    def tcb(self) -> TCPConnection:
+        """The underlying connection (read-mostly; ST-TCP engines use it)."""
+        return self._tcb
+
+    @property
+    def state(self) -> TCPState:
+        return self._tcb.state
+
+    @property
+    def local_address(self) -> tuple:
+        return (self._tcb.local_ip, self._tcb.local_port)
+
+    @property
+    def remote_address(self) -> tuple:
+        return (self._tcb.remote_ip, self._tcb.remote_port)
+
+    @property
+    def connected(self) -> bool:
+        return self._tcb.state is TCPState.ESTABLISHED
+
+    @property
+    def at_eof(self) -> bool:
+        return self._tcb.eof
+
+    # Waitables ------------------------------------------------------------------
+    def wait_connected(self) -> SimEvent:
+        """Succeeds (with this socket) once ESTABLISHED; fails on error."""
+        if self._connect_event is None:
+            self._connect_event = SimEvent(self.sim, "tcp.connect")
+            if self.connected or self._tcb.is_synchronized:
+                self._connect_event.succeed(self)
+            elif self._error is not None:
+                self._connect_event.fail(self._error)
+            elif self._tcb.state is TCPState.CLOSED and self._tcb.error is not None:
+                self._connect_event.fail(self._tcb.error)
+        return self._connect_event
+
+    def wait_closed(self) -> SimEvent:
+        """Succeeds when the connection reaches CLOSED."""
+        if self._closed_event is None:
+            self._closed_event = SimEvent(self.sim, "tcp.closed")
+            if self._tcb.state is TCPState.CLOSED:
+                self._closed_event.succeed(self)
+        return self._closed_event
+
+    def send(self, data: Union[bytes, ByteSpan]) -> SimEvent:
+        """Queue ``data``; the event succeeds when all bytes are buffered."""
+        event = SimEvent(self.sim, "tcp.send")
+        span = as_span(data)
+        if self._error is not None:
+            event.fail(self._error)
+            return event
+        if self._tcb.state is TCPState.CLOSED:
+            event.fail(ConnectionClosed("send on closed socket"))
+            return event
+        self._writers.append({"span": span, "done": 0, "event": event})
+        self._pump_writers()
+        return event
+
+    def recv(self, max_bytes: int = 65536) -> SimEvent:
+        """Succeeds with 1..max_bytes of data, or an empty span at EOF."""
+        event = SimEvent(self.sim, "tcp.recv")
+        if max_bytes <= 0:
+            event.succeed(EMPTY)
+            return event
+        self._readers.append({"kind": "some", "n": max_bytes, "acc": [], "event": event})
+        self._pump_readers()
+        return event
+
+    def recv_exactly(self, n: int) -> SimEvent:
+        """Succeeds with exactly ``n`` bytes; fails on early EOF/error."""
+        event = SimEvent(self.sim, "tcp.recv_exactly")
+        if n <= 0:
+            event.succeed(EMPTY)
+            return event
+        self._readers.append({"kind": "exact", "n": n, "acc": [], "event": event})
+        self._pump_readers()
+        return event
+
+    # Closing ---------------------------------------------------------------------
+    def close(self) -> None:
+        """Orderly shutdown (FIN after pending data)."""
+        self._tcb.app_close()
+
+    def abort(self) -> None:
+        """Abortive shutdown (RST)."""
+        self._tcb.app_abort()
+
+    # Pumps -------------------------------------------------------------------------
+    def _pump_writers(self) -> None:
+        if self._pumping_writers:
+            # app_write can synchronously free buffer space (shadow-mode
+            # ack application) and call back into on_writable; re-entering
+            # here would append with a stale "done" and corrupt the
+            # stream.  The outer pump loop picks the space up instead.
+            return
+        self._pumping_writers = True
+        try:
+            while self._writers:
+                writer = self._writers[0]
+                span, done = writer["span"], writer["done"]
+                if done < len(span):
+                    accepted = self._tcb.app_write(span.slice(done, len(span)))
+                    writer["done"] = done + accepted
+                    if accepted and writer["done"] < len(span):
+                        continue  # space may have been freed while writing
+                    if writer["done"] < len(span):
+                        return  # buffer full; wait for on_writable
+                self._writers.popleft()
+                writer["event"].succeed(len(span))
+        finally:
+            self._pumping_writers = False
+
+    def _pump_readers(self) -> None:
+        while self._readers:
+            reader = self._readers[0]
+            needed = reader["n"] - sum(len(piece) for piece in reader["acc"])
+            if needed > 0 and self._tcb.readable_bytes > 0:
+                piece = self._tcb.app_read(needed)
+                reader["acc"].append(piece)
+                needed -= len(piece)
+            if reader["kind"] == "some":
+                if reader["acc"] and len(reader["acc"][0]) > 0 or needed == 0:
+                    self._finish_reader(reader)
+                    continue
+                if self._tcb.eof:
+                    self._finish_reader(reader)  # EOF → empty span
+                    continue
+                return
+            # exact
+            if needed == 0:
+                self._finish_reader(reader)
+                continue
+            if self._tcb.eof:
+                self._readers.popleft()
+                reader["event"].fail(
+                    ConnectionClosed(
+                        f"peer closed with {needed} of {reader['n']} bytes missing"
+                    )
+                )
+                continue
+            return
+
+    def _finish_reader(self, reader: Dict[str, Any]) -> None:
+        self._readers.popleft()
+        reader["event"].succeed(concat(reader["acc"]) if reader["acc"] else EMPTY)
+
+    # TCB callbacks -------------------------------------------------------------------
+    def _on_established(self) -> None:
+        if self._connect_event is not None and not self._connect_event.triggered:
+            self._connect_event.succeed(self)
+
+    def _on_readable(self) -> None:
+        self._pump_readers()
+
+    def _on_writable(self) -> None:
+        self._pump_writers()
+
+    def _on_error(self, error: BaseException) -> None:
+        self._error = error
+        if self._connect_event is not None and not self._connect_event.triggered:
+            self._connect_event.fail(error)
+        while self._writers:
+            self._writers.popleft()["event"].fail(error)
+        while self._readers:
+            reader = self._readers.popleft()
+            if reader["kind"] == "some" and reader["acc"]:
+                reader["event"].succeed(concat(reader["acc"]))
+            else:
+                reader["event"].fail(error)
+
+    def _on_closed(self) -> None:
+        if self._closed_event is not None and not self._closed_event.triggered:
+            self._closed_event.succeed(self)
+        if self._error is None:
+            # Orderly close: wake readers with EOF.
+            while self._readers:
+                reader = self._readers.popleft()
+                if reader["kind"] == "exact":
+                    needed = reader["n"] - sum(len(p) for p in reader["acc"])
+                    if needed:
+                        reader["event"].fail(
+                            ConnectionClosed("connection closed during recv_exactly")
+                        )
+                        continue
+                reader["event"].succeed(
+                    concat(reader["acc"]) if reader["acc"] else EMPTY
+                )
+            while self._writers:
+                self._writers.popleft()["event"].fail(
+                    ConnectionClosed("connection closed during send")
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<TCPSocket {self._tcb!r}>"

@@ -1,0 +1,60 @@
+"""Restartable one-shot timers over the simulation kernel.
+
+Each TCP connection owns a handful of these (retransmit, delayed-ACK,
+persist, TIME_WAIT).  A timer's callback never fires after :meth:`stop`,
+and restarting implicitly cancels the previous arming.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.events import EventHandle
+
+
+class RestartableTimer:
+    """A named one-shot timer; ``start`` re-arms, ``stop`` cancels."""
+
+    __slots__ = ("sim", "callback", "name", "_handle", "fired_count")
+
+    def __init__(self, sim: Any, callback: Callable[[], None], name: str = "timer") -> None:
+        self.sim = sim
+        self.callback = callback
+        self.name = name
+        self._handle: Optional[EventHandle] = None
+        self.fired_count = 0
+
+    @property
+    def running(self) -> bool:
+        return self._handle is not None and not self._handle.cancelled
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """Absolute fire time while armed, else None."""
+        if self.running:
+            return self._handle.time  # type: ignore[union-attr]
+        return None
+
+    def start(self, delay: float) -> None:
+        """Arm (or re-arm) the timer ``delay`` seconds from now."""
+        self.stop()
+        self._handle = self.sim.schedule(delay, self._fire)
+
+    def start_if_idle(self, delay: float) -> None:
+        """Arm only when not already running (retransmit-timer semantics)."""
+        if not self.running:
+            self.start(delay)
+
+    def stop(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        self._handle = None
+        self.fired_count += 1
+        self.callback()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = f"armed@{self.deadline:.6f}" if self.running else "idle"
+        return f"<Timer {self.name} {state}>"

@@ -1,0 +1,13 @@
+"""UDP: datagrams, per-host layer, sockets."""
+
+from repro.udp.datagram import UDP_HEADER_SIZE, UDPDatagram
+from repro.udp.layer import EPHEMERAL_PORT_START, UDPLayer
+from repro.udp.socket import UDPSocket
+
+__all__ = [
+    "EPHEMERAL_PORT_START",
+    "UDPDatagram",
+    "UDPLayer",
+    "UDPSocket",
+    "UDP_HEADER_SIZE",
+]

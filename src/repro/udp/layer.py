@@ -1,0 +1,69 @@
+"""The per-host UDP layer: port table and demux."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.errors import PortInUseError
+from repro.ip.datagram import PROTO_UDP, IPDatagram
+from repro.net.addresses import IPAddress
+from repro.net.nic import NIC
+from repro.udp.datagram import UDPDatagram
+from repro.udp.socket import UDPSocket
+
+#: First port used for automatic (ephemeral) binds.
+EPHEMERAL_PORT_START = 32768
+EPHEMERAL_PORT_END = 60999
+
+
+class UDPLayer:
+    """Owns the UDP port space of one host."""
+
+    def __init__(self, sim: Any, host: Any) -> None:
+        self.sim = sim
+        self.host = host
+        self._sockets: Dict[int, UDPSocket] = {}
+        self._next_ephemeral = EPHEMERAL_PORT_START
+        self.received = 0
+        self.dropped_no_port = 0
+        host.ip_layer.register_protocol(PROTO_UDP, self._receive)
+
+    def socket(self, port: Optional[int] = None) -> UDPSocket:
+        """Create a socket bound to ``port`` (or an ephemeral port)."""
+        if port is None:
+            port = self._allocate_ephemeral()
+        elif port in self._sockets:
+            raise PortInUseError(f"UDP port {port} already bound on {self.host.name}")
+        sock = UDPSocket(self, port)
+        self._sockets[port] = sock
+        return sock
+
+    def _allocate_ephemeral(self) -> int:
+        start = self._next_ephemeral
+        port = start
+        while port in self._sockets:
+            port += 1
+            if port > EPHEMERAL_PORT_END:
+                port = EPHEMERAL_PORT_START
+            if port == start:
+                raise PortInUseError(f"no free UDP ports on {self.host.name}")
+        self._next_ephemeral = port + 1
+        if self._next_ephemeral > EPHEMERAL_PORT_END:
+            self._next_ephemeral = EPHEMERAL_PORT_START
+        return port
+
+    def unbind(self, port: int) -> None:
+        self._sockets.pop(port, None)
+
+    def transmit(self, dst_ip: IPAddress, datagram: UDPDatagram) -> None:
+        """Hand a UDP datagram to the IP layer."""
+        self.host.ip_layer.send(dst_ip, PROTO_UDP, datagram, datagram.size)
+
+    def _receive(self, ip_datagram: IPDatagram, nic: Optional[NIC]) -> None:
+        udp_datagram: UDPDatagram = ip_datagram.payload
+        sock = self._sockets.get(udp_datagram.dst_port)
+        if sock is None:
+            self.dropped_no_port += 1
+            return
+        self.received += 1
+        sock.deliver(udp_datagram.payload, (ip_datagram.src, udp_datagram.src_port))

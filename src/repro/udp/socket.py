@@ -1,0 +1,98 @@
+"""UDP sockets.
+
+Two consumption styles are supported:
+
+* coroutine: ``payload, addr = yield sock.recv()``
+* callback: ``sock.on_datagram = handler`` — used by protocol engines
+  (the ST-TCP sync channel) that react to every datagram immediately.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional, Tuple, Union
+
+from repro.errors import ConnectionClosed
+from repro.net.addresses import IPAddress
+from repro.sim.events import SimEvent
+from repro.udp.datagram import UDPDatagram
+from repro.util.bytespan import ByteSpan, as_span
+
+Address = Tuple[IPAddress, int]
+DatagramCallback = Callable[[Any, Address], None]
+
+
+class UDPSocket:
+    """A bound UDP endpoint."""
+
+    def __init__(self, layer: Any, port: int) -> None:
+        self._layer = layer
+        self.port = port
+        self.closed = False
+        self.on_datagram: Optional[DatagramCallback] = None
+        self._queue: Deque[Tuple[Any, Address]] = deque()
+        self._waiters: Deque[SimEvent] = deque()
+        self.sent_datagrams = 0
+        self.received_datagrams = 0
+
+    # Sending ---------------------------------------------------------------
+    def send_to(
+        self,
+        addr: Address,
+        payload: Union[bytes, ByteSpan, Any],
+        payload_size: Optional[int] = None,
+    ) -> None:
+        """Send one datagram to ``(ip, port)``.
+
+        Bytes-like payloads size themselves; protocol objects must pass
+        ``payload_size`` explicitly (their modelled wire size).
+        """
+        if self.closed:
+            raise ConnectionClosed(f"UDP socket :{self.port} is closed")
+        if payload_size is None:
+            span = as_span(payload)
+            payload, payload_size = span, len(span)
+        dst_ip, dst_port = addr
+        datagram = UDPDatagram(self.port, dst_port, payload, payload_size)
+        self.sent_datagrams += 1
+        self._layer.transmit(dst_ip, datagram)
+
+    # Receiving ---------------------------------------------------------------
+    def recv(self) -> SimEvent:
+        """Waitable for the next datagram: succeeds with (payload, addr)."""
+        event = SimEvent(self._layer.sim, f"udp:{self.port}.recv")
+        if self.closed:
+            event.fail(ConnectionClosed(f"UDP socket :{self.port} is closed"))
+            return event
+        if self._queue:
+            event.succeed(self._queue.popleft())
+        else:
+            self._waiters.append(event)
+        return event
+
+    def deliver(self, payload: Any, addr: Address) -> None:
+        """Called by the UDP layer on matching inbound datagrams."""
+        if self.closed:
+            return
+        self.received_datagrams += 1
+        if self.on_datagram is not None:
+            self.on_datagram(payload, addr)
+            return
+        if self._waiters:
+            self._waiters.popleft().succeed((payload, addr))
+        else:
+            self._queue.append((payload, addr))
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self._layer.unbind(self.port)
+        while self._waiters:
+            self._waiters.popleft().fail(
+                ConnectionClosed(f"UDP socket :{self.port} closed while receiving")
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "closed" if self.closed else "open"
+        return f"<UDPSocket :{self.port} {state}>"

@@ -1,0 +1,51 @@
+"""Shared utilities: byte-span payload modelling, FIFO span buffers, units."""
+
+from repro.util.bytespan import (
+    EMPTY,
+    ByteSpan,
+    CatBytes,
+    PatternBytes,
+    RealBytes,
+    as_span,
+    concat,
+    fingerprint,
+    span_equal,
+)
+from repro.util.spanbuffer import SpanBuffer
+from repro.util.units import (
+    GB,
+    KB,
+    MB,
+    fmt_bytes,
+    fmt_time,
+    gbps,
+    kbps,
+    mbps,
+    ms,
+    transmission_time,
+    us,
+)
+
+__all__ = [
+    "ByteSpan",
+    "CatBytes",
+    "EMPTY",
+    "GB",
+    "KB",
+    "MB",
+    "PatternBytes",
+    "RealBytes",
+    "SpanBuffer",
+    "as_span",
+    "concat",
+    "fingerprint",
+    "fmt_bytes",
+    "fmt_time",
+    "gbps",
+    "kbps",
+    "mbps",
+    "ms",
+    "span_equal",
+    "transmission_time",
+    "us",
+]

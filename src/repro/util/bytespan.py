@@ -1,0 +1,252 @@
+"""Byte-payload modelling for the simulator.
+
+Simulating the paper's 100 MB bulk transfer with real ``bytes`` payloads
+would copy gigabytes through links, buffers and retransmission queues.
+Instead, payloads are :class:`ByteSpan` objects:
+
+* :class:`RealBytes` wraps actual bytes (used by the small-message apps so
+  content correctness is checked end-to-end for real data).
+* :class:`PatternBytes` describes a *deterministic synthetic* byte range —
+  byte at absolute stream position ``p`` equals ``pattern_table[p % 251]``
+  — in O(1) memory.  Receivers can verify any slice of the stream without
+  the sender shipping the content.
+* :class:`CatBytes` concatenates spans without copying.
+
+All spans are immutable; slicing returns new spans sharing structure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Union
+
+_TABLE_PERIOD = 251  # prime, so patterns don't resonate with power-of-2 MSS
+
+_pattern_tables: dict = {}
+
+
+def _pattern_table(pattern_id: int) -> bytes:
+    table = _pattern_tables.get(pattern_id)
+    if table is None:
+        table = bytes((pattern_id * 37 + k * 101 + 7) % 256 for k in range(_TABLE_PERIOD))
+        _pattern_tables[pattern_id] = table
+    return table
+
+
+class ByteSpan:
+    """Abstract immutable byte sequence.
+
+    Subclasses implement ``__len__``, ``slice`` and ``to_bytes``.  Slicing
+    with ``span[a:b]`` is supported for convenience.
+    """
+
+    __slots__ = ()
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def slice(self, start: int, stop: int) -> "ByteSpan":
+        raise NotImplementedError
+
+    def to_bytes(self) -> bytes:
+        raise NotImplementedError
+
+    def iter_chunks(self, chunk_size: int = 65536) -> Iterator[bytes]:
+        """Materialise the span in bounded-size pieces."""
+        length = len(self)
+        for start in range(0, length, chunk_size):
+            yield self.slice(start, min(start + chunk_size, length)).to_bytes()
+
+    def __getitem__(self, key: slice) -> "ByteSpan":
+        if not isinstance(key, slice) or key.step not in (None, 1):
+            raise TypeError("ByteSpan only supports contiguous slicing")
+        start, stop, _ = key.indices(len(self))
+        return self.slice(start, stop)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, (ByteSpan, bytes, bytearray)):
+            return NotImplemented
+        other_span = as_span(other) if not isinstance(other, ByteSpan) else other
+        return span_equal(self, other_span)
+
+    def __hash__(self) -> int:
+        # Spans are rarely hashed; a cheap structural hash on length plus
+        # first/last bytes is enough for set/dict use in tests.
+        length = len(self)
+        if length == 0:
+            return hash((0, b""))
+        head = self.slice(0, min(16, length)).to_bytes()
+        return hash((length, head))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} len={len(self)}>"
+
+
+def _check_bounds(start: int, stop: int, length: int) -> None:
+    if not 0 <= start <= stop <= length:
+        raise IndexError(f"slice [{start}, {stop}) outside span of length {length}")
+
+
+class RealBytes(ByteSpan):
+    """A span backed by actual bytes."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: Union[bytes, bytearray, memoryview]) -> None:
+        self.data = bytes(data)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def slice(self, start: int, stop: int) -> ByteSpan:
+        _check_bounds(start, stop, len(self.data))
+        return RealBytes(self.data[start:stop])
+
+    def to_bytes(self) -> bytes:
+        return self.data
+
+
+class PatternBytes(ByteSpan):
+    """A synthetic span: byte at stream offset ``p`` is a pure function of
+    ``p`` and ``pattern_id``.
+
+    ``offset`` is the absolute stream position of the first byte, so slices
+    of the same logical stream produced independently by sender and
+    receiver compare equal.
+    """
+
+    __slots__ = ("length", "offset", "pattern_id")
+
+    def __init__(self, length: int, offset: int = 0, pattern_id: int = 0) -> None:
+        if length < 0:
+            raise ValueError(f"negative length {length}")
+        self.length = length
+        self.offset = offset
+        self.pattern_id = pattern_id
+
+    def __len__(self) -> int:
+        return self.length
+
+    def slice(self, start: int, stop: int) -> ByteSpan:
+        _check_bounds(start, stop, self.length)
+        return PatternBytes(stop - start, self.offset + start, self.pattern_id)
+
+    def to_bytes(self) -> bytes:
+        table = _pattern_table(self.pattern_id)
+        phase = self.offset % _TABLE_PERIOD
+        if self.length <= _TABLE_PERIOD:
+            doubled = table + table
+            return doubled[phase : phase + self.length]
+        # Tile the table starting at the right phase.
+        repeats = (self.length + phase) // _TABLE_PERIOD + 2
+        tiled = table * repeats
+        return tiled[phase : phase + self.length]
+
+
+class CatBytes(ByteSpan):
+    """Zero-copy concatenation of spans.
+
+    Nested ``CatBytes`` children are flattened at construction so deep
+    append chains (e.g. a send buffer drained one MSS at a time) never
+    build pathological trees.
+    """
+
+    __slots__ = ("parts", "length")
+
+    def __init__(self, parts: Sequence[ByteSpan]) -> None:
+        flat: List[ByteSpan] = []
+        for part in parts:
+            if isinstance(part, CatBytes):
+                flat.extend(part.parts)
+            elif len(part) > 0:
+                flat.append(part)
+        self.parts = _coalesce(flat)
+        self.length = sum(len(part) for part in self.parts)
+
+    def __len__(self) -> int:
+        return self.length
+
+    def slice(self, start: int, stop: int) -> ByteSpan:
+        _check_bounds(start, stop, self.length)
+        if start == stop:
+            return EMPTY
+        picked: List[ByteSpan] = []
+        position = 0
+        for part in self.parts:
+            part_len = len(part)
+            if position + part_len <= start:
+                position += part_len
+                continue
+            if position >= stop:
+                break
+            lo = max(0, start - position)
+            hi = min(part_len, stop - position)
+            picked.append(part.slice(lo, hi))
+            position += part_len
+        if len(picked) == 1:
+            return picked[0]
+        return CatBytes(picked)
+
+    def to_bytes(self) -> bytes:
+        return b"".join(part.to_bytes() for part in self.parts)
+
+
+def _coalesce(parts: List[ByteSpan]) -> List[ByteSpan]:
+    """Merge adjacent spans that are contiguous pieces of one pattern."""
+    merged: List[ByteSpan] = []
+    for part in parts:
+        if (
+            merged
+            and isinstance(part, PatternBytes)
+            and isinstance(merged[-1], PatternBytes)
+            and merged[-1].pattern_id == part.pattern_id
+            and merged[-1].offset + merged[-1].length == part.offset
+        ):
+            last = merged[-1]
+            merged[-1] = PatternBytes(
+                last.length + part.length, last.offset, last.pattern_id
+            )
+        else:
+            merged.append(part)
+    return merged
+
+
+EMPTY = RealBytes(b"")
+
+
+def as_span(data: Union[ByteSpan, bytes, bytearray, memoryview]) -> ByteSpan:
+    """Coerce raw bytes to a span; spans pass through unchanged."""
+    if isinstance(data, ByteSpan):
+        return data
+    if isinstance(data, (bytes, bytearray, memoryview)):
+        return RealBytes(data) if len(data) else EMPTY
+    raise TypeError(f"cannot treat {type(data).__name__} as bytes")
+
+
+def concat(parts: Sequence[ByteSpan]) -> ByteSpan:
+    """Concatenate spans, returning the cheapest representation."""
+    live = [part for part in parts if len(part)]
+    if not live:
+        return EMPTY
+    if len(live) == 1:
+        return live[0]
+    return CatBytes(live)
+
+
+def span_equal(a: ByteSpan, b: ByteSpan) -> bool:
+    """Content equality, materialising at most 64 KiB at a time."""
+    if len(a) != len(b):
+        return False
+    for chunk_a, chunk_b in zip(a.iter_chunks(), b.iter_chunks()):
+        if chunk_a != chunk_b:
+            return False
+    return True
+
+
+def fingerprint(span: ByteSpan) -> int:
+    """A cheap order-sensitive content fingerprint (FNV-1a over chunks)."""
+    value = 0xCBF29CE484222325
+    for chunk in span.iter_chunks():
+        for byte in chunk:
+            value ^= byte
+            value = (value * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return value

@@ -1,0 +1,61 @@
+"""Unit helpers used across configuration and the harness.
+
+All sizes are bytes; all rates are bits per second; all times are seconds —
+the helpers make literals self-describing at call sites
+(``mbps(100)`` rather than ``100_000_000``).
+"""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * 1024
+GB = 1024 * 1024 * 1024
+
+
+def kbps(value: float) -> float:
+    """Kilobits per second → bits per second."""
+    return value * 1_000.0
+
+
+def mbps(value: float) -> float:
+    """Megabits per second → bits per second."""
+    return value * 1_000_000.0
+
+
+def gbps(value: float) -> float:
+    """Gigabits per second → bits per second."""
+    return value * 1_000_000_000.0
+
+
+def ms(value: float) -> float:
+    """Milliseconds → seconds."""
+    return value / 1_000.0
+
+
+def us(value: float) -> float:
+    """Microseconds → seconds."""
+    return value / 1_000_000.0
+
+
+def transmission_time(size_bytes: int, rate_bps: float) -> float:
+    """Seconds to clock ``size_bytes`` onto a link of ``rate_bps``."""
+    if rate_bps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bps}")
+    return size_bytes * 8.0 / rate_bps
+
+
+def fmt_bytes(size: float) -> str:
+    """Human-readable byte count (``1.5 MB``)."""
+    for unit, factor in (("GB", GB), ("MB", MB), ("KB", KB)):
+        if size >= factor:
+            return f"{size / factor:.6g} {unit}"
+    return f"{size:.6g} B"
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-readable duration (``2.35 s`` / ``150 ms`` / ``42 us``)."""
+    if seconds >= 1.0:
+        return f"{seconds:.6g} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.6g} ms"
+    return f"{seconds * 1e6:.6g} us"

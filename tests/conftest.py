@@ -1,0 +1,91 @@
+"""Shared fixtures and topology builders for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.host.host import Host
+from repro.net.addresses import ip
+from repro.net.medium import Cable, Hub
+from repro.sim.simulator import Simulator
+from repro.tcp.config import TCPConfig
+from repro.util.units import mbps, us
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=1234)
+
+
+class LanPair:
+    """Two hosts on a fast hub — the workhorse TCP test topology."""
+
+    def __init__(self, sim: Simulator, tcp_config: TCPConfig = None, hub_delay: float = us(50)) -> None:
+        self.sim = sim
+        self.hub = Hub(sim, rate_bps=mbps(100), delay=hub_delay)
+        self.a = Host(sim, "host-a", tcp_config=tcp_config)
+        self.b = Host(sim, "host-b", tcp_config=tcp_config)
+        self.nic_a = self.a.add_nic()
+        self.nic_b = self.b.add_nic()
+        self.hub.attach(self.nic_a)
+        self.hub.attach(self.nic_b)
+        self.ip_a = ip("10.0.0.1")
+        self.ip_b = ip("10.0.0.2")
+        self.a.configure_ip(self.nic_a, self.ip_a, 24)
+        self.b.configure_ip(self.nic_b, self.ip_b, 24)
+
+
+@pytest.fixture
+def lan(sim: Simulator) -> LanPair:
+    return LanPair(sim)
+
+
+def make_lan(sim: Simulator, **kwargs) -> LanPair:
+    return LanPair(sim, **kwargs)
+
+
+class P2PPair:
+    """Two hosts on a full-duplex cable."""
+
+    def __init__(self, sim: Simulator, tcp_config: TCPConfig = None, delay: float = us(50)) -> None:
+        self.sim = sim
+        self.a = Host(sim, "host-a", tcp_config=tcp_config)
+        self.b = Host(sim, "host-b", tcp_config=tcp_config)
+        self.nic_a = self.a.add_nic()
+        self.nic_b = self.b.add_nic()
+        self.cable = Cable(sim, self.nic_a, self.nic_b, rate_bps=mbps(100), delay=delay)
+        self.ip_a = ip("10.0.0.1")
+        self.ip_b = ip("10.0.0.2")
+        self.a.configure_ip(self.nic_a, self.ip_a, 24)
+        self.b.configure_ip(self.nic_b, self.ip_b, 24)
+
+
+@pytest.fixture
+def p2p(sim: Simulator) -> P2PPair:
+    return P2PPair(sim)
+
+
+def run_echo_once(lan: LanPair, payload: bytes = b"ping", port: int = 7000) -> bytes:
+    """Run a one-shot echo over TCP on the pair; returns the echoed bytes."""
+    sim = lan.sim
+    outcome = {}
+
+    def server():
+        listener = lan.b.tcp.listen(port)
+        conn = yield listener.accept()
+        data = yield conn.recv_exactly(len(payload))
+        yield conn.send(data)
+        conn.close()
+
+    def client():
+        sock = lan.a.tcp.connect((lan.ip_b, port))
+        yield sock.wait_connected()
+        yield sock.send(payload)
+        echoed = yield sock.recv_exactly(len(payload))
+        outcome["data"] = echoed.to_bytes()
+        sock.close()
+
+    lan.b.spawn(server(), "server")
+    process = lan.a.spawn(client(), "client")
+    sim.run_until_complete(process, deadline=30.0)
+    return outcome["data"]

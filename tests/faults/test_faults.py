@@ -1,0 +1,86 @@
+"""Tests for fault injection helpers."""
+
+import pytest
+
+from repro.faults.injection import (
+    CrashInjector,
+    add_tap_loss,
+    add_tap_outage,
+    clear_loss,
+    partition_channel,
+)
+from repro.net.loss import NoLoss, RandomLoss, WindowLoss
+from repro.sim.simulator import Simulator
+
+from tests.conftest import LanPair
+
+
+@pytest.fixture
+def lan():
+    return LanPair(Simulator(seed=71))
+
+
+def test_crash_at_absolute_time(lan):
+    injector = CrashInjector(lan.sim)
+    injector.crash_at(lan.b, 2.5)
+    lan.sim.run(until=2.0)
+    assert lan.b.is_up
+    lan.sim.run(until=3.0)
+    assert not lan.b.is_up
+    assert injector.crashes_performed == 1
+
+
+def test_crash_after_delay(lan):
+    injector = CrashInjector(lan.sim)
+    lan.sim.run(until=1.0)
+    injector.crash_after(lan.b, 0.5)
+    lan.sim.run(until=2.0)
+    assert lan.b.crashed_at == pytest.approx(1.5)
+
+
+def test_cancel_all_scheduled_crashes(lan):
+    injector = CrashInjector(lan.sim)
+    injector.crash_at(lan.a, 1.0)
+    injector.crash_at(lan.b, 1.0)
+    injector.cancel_all()
+    lan.sim.run(until=2.0)
+    assert lan.a.is_up and lan.b.is_up
+
+
+def test_add_tap_loss_installs_model(lan):
+    rng = lan.sim.random.stream("x")
+    model = add_tap_loss(lan.nic_b, rng, 0.5)
+    assert lan.nic_b.rx_loss_model is model
+    assert isinstance(model, RandomLoss)
+
+
+def test_add_tap_outage_installs_window(lan):
+    model = add_tap_outage(lan.nic_b, 1.0, 2.0)
+    assert isinstance(model, WindowLoss)
+    assert lan.nic_b.rx_loss_model is model
+
+
+def test_clear_loss(lan):
+    add_tap_outage(lan.nic_b, 1.0, 2.0)
+    clear_loss(lan.nic_b)
+    assert lan.nic_b.rx_loss_model is None
+    partition_channel(lan.hub, 39000)
+    clear_loss(lan.hub)
+    assert isinstance(lan.hub.loss_model, NoLoss)
+
+
+def test_partition_channel_drops_only_channel_traffic(lan):
+    partition_channel(lan.hub, 39000)
+    channel_received = []
+    other_received = []
+    chan = lan.b.udp.socket(39000)
+    chan.on_datagram = lambda payload, addr: channel_received.append(payload)
+    other = lan.b.udp.socket(5000)
+    other.on_datagram = lambda payload, addr: other_received.append(payload)
+    sender_chan = lan.a.udp.socket(39000)
+    sender_other = lan.a.udp.socket(5001)
+    sender_chan.send_to((lan.ip_b, 39000), b"hb")
+    sender_other.send_to((lan.ip_b, 5000), b"data")
+    lan.sim.run(until=1.0)
+    assert channel_received == []
+    assert len(other_received) == 1

@@ -1,0 +1,88 @@
+"""Tests for the experiment CLI and record exports."""
+
+import json
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+from repro.metrics.report import load_records, records_to_csv, records_to_json
+
+
+def test_parser_requires_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_parser_knows_all_subcommands():
+    parser = build_parser()
+    for command in ("table1", "table2", "figure5", "figure6", "ablations", "demo"):
+        args = parser.parse_args([command] if command != "figure5" else [command, "--app", "echo"])
+        assert args.command == command
+
+
+def test_demo_command_runs(capsys):
+    assert main(["demo", "--hb", "0.05", "--seed", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "failover_time" in out
+    assert "detection_latency" in out
+
+
+def test_table1_command_with_exports(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "1.0")  # quick grid
+    json_path = tmp_path / "t1.json"
+    csv_path = tmp_path / "t1.csv"
+    assert (
+        main(["table1", "--quick", "--json", str(json_path), "--csv", str(csv_path)])
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "Standard TCP" in out
+    records = load_records(json_path)
+    assert records[0]["config"] == "Standard TCP"
+    header = csv_path.read_text().splitlines()[0]
+    assert "config" in header
+
+
+def test_figure5_command(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "1.0")
+    assert main(["figure5", "--app", "echo", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "heartbeat" in out
+
+
+def test_records_roundtrip(tmp_path):
+    records = [
+        {"a": 1.23456789012, "b": "x", "c": True},
+        {"a": float("inf"), "d": 4},
+    ]
+    path = records_to_json(records, tmp_path / "r.json")
+    loaded = load_records(path)
+    assert loaded[0]["a"] == pytest.approx(1.23456789)
+    assert loaded[1]["a"] == "inf"
+    assert loaded[1]["d"] == 4
+
+
+def test_csv_header_is_key_union(tmp_path):
+    records = [{"a": 1}, {"a": 2, "b": 3}]
+    path = records_to_csv(records, tmp_path / "r.csv")
+    lines = path.read_text().splitlines()
+    assert lines[0] == "a,b"
+    assert lines[1] == "1,"
+    assert lines[2] == "2,3"
+
+
+def test_csv_empty_records(tmp_path):
+    path = records_to_csv([], tmp_path / "empty.csv")
+    assert path.read_text() == ""
+
+
+def test_trace_command_shows_wire_view(capsys):
+    assert main(["trace", "--exchanges", "30", "--seed", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "Flags [S.]" in out        # the SYN/ACK from the service IP
+    assert "verified=True" in out
+    assert "takeover" in out
+    # Every frame the client saw came from the one service identity.
+    data_lines = [l for l in out.splitlines() if "Flags" in l]
+    assert all("10.0.0.100.8000" in line for line in data_lines)

@@ -1,0 +1,125 @@
+"""Smoke/shape tests for every experiment generator (tiny scale)."""
+
+import pytest
+
+from repro.harness.experiments import (
+    ExperimentScale,
+    PAPER_SCALE,
+    QUICK_SCALE,
+    ablation_ftcp,
+    ablation_logger,
+    ablation_overhead,
+    ablation_sync,
+    default_scale,
+    figure5,
+    figure6,
+    format_figure5,
+    format_figure6,
+    format_table1,
+    format_table2,
+    table1,
+    table2,
+)
+from repro.util.units import KB
+
+TINY = ExperimentScale(
+    echo_exchanges=10,
+    interactive_exchanges=5,
+    bulk_sizes=(64 * KB,),
+    repeats=1,
+    hb_grid=(0.2, 0.05),
+)
+
+
+def test_default_scale_selection(monkeypatch):
+    monkeypatch.delenv("REPRO_PAPER_SCALE", raising=False)
+    monkeypatch.delenv("REPRO_SCALE", raising=False)
+    assert default_scale() == QUICK_SCALE
+    monkeypatch.setenv("REPRO_PAPER_SCALE", "1")
+    assert default_scale() == PAPER_SCALE
+    monkeypatch.delenv("REPRO_PAPER_SCALE")
+    monkeypatch.setenv("REPRO_SCALE", "2")
+    scale = default_scale()
+    assert scale.echo_exchanges == 60
+
+
+def test_table1_shape_and_transparency():
+    records = table1(TINY)
+    assert [r["config"] for r in records] == [
+        "Standard TCP",
+        "ST-TCP 200ms HB",
+        "ST-TCP 50ms HB",
+    ]
+    standard = records[0]
+    for sttcp_row in records[1:]:
+        for column in ("echo", "interactive"):
+            # The headline Table 1 claim: ST-TCP ≈ standard TCP.
+            assert sttcp_row[column] == pytest.approx(standard[column], rel=0.02)
+    text = format_table1(records)
+    assert "Standard TCP" in text
+
+
+def test_table2_failover_grows_with_hb():
+    records = table2(TINY)
+    by_config = {r["config"]: r for r in records}
+    assert (
+        by_config["ST-TCP 200ms HB"]["echo"] > by_config["ST-TCP 50ms HB"]["echo"]
+    )
+    text = format_table2(records)
+    assert "failover" in text
+
+
+def test_figure5_shape():
+    points = figure5("echo", TINY, hb_sweep=(0.05, 0.3))
+    assert len(points) == 2
+    assert points[1]["failure_time"] > points[0]["failure_time"]
+    # No-failure time is flat across HB intervals.
+    assert points[0]["no_failure_time"] == pytest.approx(
+        points[1]["no_failure_time"], rel=0.05
+    )
+    assert "heartbeat" in format_figure5(points, "echo")
+
+
+def test_figure5_rejects_unknown_application():
+    with pytest.raises(ValueError):
+        figure5("bulk", TINY)
+
+
+def test_figure6_shape():
+    scale = ExperimentScale(10, 5, (32 * KB, 128 * KB), 1, hb_grid=(0.05,))
+    points = figure6(scale)
+    assert len(points) == 2
+    small, large = points
+    assert large["no_failure_time"] > small["no_failure_time"]
+    assert large["failure_time"] > large["no_failure_time"]
+    assert "bulk" in format_figure6(points).lower()
+
+
+def test_ablation_sync_shape():
+    records = ablation_sync(upload_size=64 * KB, sync_times=(0.05,), x_fractions=(0.25, 1.0))
+    by_x = {r["x_fraction"]: r for r in records}
+    assert by_x[0.25]["acks_sent"] > by_x[1.0]["acks_sent"]
+
+
+def test_ablation_ftcp_shape():
+    records = ablation_ftcp(bulk_size=64 * KB, crash_fractions=(0.5,))
+    by_protocol = {r["protocol"]: r for r in records}
+    assert by_protocol["FT-TCP"]["failover_time"] > by_protocol["ST-TCP"]["failover_time"]
+
+
+def test_ablation_overhead_matches_paper_arithmetic():
+    records = ablation_overhead(upload_size=256 * KB, second_buffers=(4 * KB,))
+    record = records[0]
+    assert record["x_bytes"] == 3072
+    # §4.3: one 128 B message per 3 KB ≈ 4.17%; we also count the reply,
+    # so the measured overhead lands in the 3–9% band.
+    assert 3.0 < record["overhead_percent"] < 9.0
+
+
+def test_ablation_logger_discriminates():
+    records = ablation_logger()
+    by_logger = {r["logger"]: r for r in records}
+    assert by_logger[True]["completed"]
+    assert by_logger[True]["verified"]
+    assert by_logger[True]["logger_bytes_recovered"] > 0
+    assert not by_logger[False]["completed"]

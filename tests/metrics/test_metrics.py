@@ -1,0 +1,51 @@
+"""Tests for metric collection."""
+
+from repro.apps.workload import echo_workload, upload_workload
+from repro.harness.runner import run_workload
+from repro.metrics.collectors import (
+    ChannelTraffic,
+    ExperimentSample,
+    HostTraffic,
+    summarize,
+)
+from repro.util.units import KB
+
+from tests.sttcp.conftest import make_scenario
+
+
+def test_host_traffic_capture():
+    scenario = make_scenario(seed=72)
+    run_workload(echo_workload(10), scenario=scenario, deadline=60.0)
+    client = HostTraffic.capture(scenario.client)
+    primary = HostTraffic.capture(scenario.primary)
+    assert client.tx_frames > 0
+    assert client.rx_frames > 0
+    assert primary.tcp_segments_demuxed > 0
+    assert client.name == "client"
+
+
+def test_channel_traffic_capture():
+    scenario = make_scenario(seed=73)
+    run_workload(upload_workload(128 * KB), scenario=scenario, deadline=60.0)
+    channel = ChannelTraffic.capture(scenario.pair)
+    assert channel.backup_acks_sent > 0
+    assert channel.channel_bytes > 0
+    assert channel.retx_requests == 0  # no tap loss in this run
+
+
+def test_summarize_means():
+    samples = [
+        ExperimentSample("a", total_time=1.0, failover_time=0.2),
+        ExperimentSample("a", total_time=3.0, failover_time=0.4),
+    ]
+    import pytest
+
+    summary = summarize(samples)
+    assert summary["total_time"] == pytest.approx(2.0)
+    assert summary["failover_time"] == pytest.approx(0.3)
+
+
+def test_summarize_handles_missing_failovers():
+    samples = [ExperimentSample("a", total_time=1.0)]
+    assert "failover_time" not in summarize(samples)
+    assert summarize([]) == {}

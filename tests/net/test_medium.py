@@ -1,0 +1,154 @@
+"""Tests for cables and hubs: delivery, serialisation timing, loss."""
+
+import pytest
+
+from repro.net.addresses import fresh_unicast_mac
+from repro.net.frame import ETHERNET_MIN_FRAME, ETHERTYPE_IPV4, EthernetFrame
+from repro.net.loss import ScriptedLoss
+from repro.net.medium import Cable, FrameReceiver, Hub
+from repro.sim.simulator import Simulator
+from repro.util.units import mbps, transmission_time
+
+
+class Sink(FrameReceiver):
+    def __init__(self, sim):
+        self.sim = sim
+        self.received = []
+
+    def receive_frame(self, frame):
+        self.received.append((self.sim.now, frame))
+
+
+def make_frame(size=1000):
+    return EthernetFrame(
+        fresh_unicast_mac(), fresh_unicast_mac(), ETHERTYPE_IPV4, None, size
+    )
+
+
+def test_frame_wire_size_has_overhead_and_minimum():
+    assert make_frame(1000).wire_size == 1018
+    assert make_frame(10).wire_size == ETHERNET_MIN_FRAME
+
+
+def test_cable_delivers_with_tx_time_plus_delay():
+    sim = Simulator()
+    a, b = Sink(sim), Sink(sim)
+    cable = Cable(sim, a, b, rate_bps=mbps(100), delay=0.001)
+    frame = make_frame(1000)
+    cable.attachment_a.send(frame)
+    sim.run()
+    arrival, received = b.received[0]
+    assert received is frame
+    expected = transmission_time(frame.wire_size, mbps(100)) + 0.001
+    assert arrival == pytest.approx(expected)
+
+
+def test_cable_serialises_back_to_back_frames():
+    sim = Simulator()
+    a, b = Sink(sim), Sink(sim)
+    cable = Cable(sim, a, b, rate_bps=mbps(100), delay=0.0)
+    frames = [make_frame(1000) for _ in range(3)]
+    for frame in frames:
+        cable.attachment_a.send(frame)
+    sim.run()
+    tx = transmission_time(frames[0].wire_size, mbps(100))
+    arrivals = [when for when, _ in b.received]
+    assert arrivals == pytest.approx([tx, 2 * tx, 3 * tx])
+
+
+def test_full_duplex_directions_independent():
+    sim = Simulator()
+    a, b = Sink(sim), Sink(sim)
+    cable = Cable(sim, a, b, rate_bps=mbps(100), delay=0.0)
+    frame_ab = make_frame(1000)
+    frame_ba = make_frame(1000)
+    cable.attachment_a.send(frame_ab)
+    cable.attachment_b.send(frame_ba)
+    sim.run()
+    tx = transmission_time(frame_ab.wire_size, mbps(100))
+    assert b.received[0][0] == pytest.approx(tx)
+    assert a.received[0][0] == pytest.approx(tx)  # no shared serialisation
+
+
+def test_half_duplex_shares_the_medium():
+    sim = Simulator()
+    a, b = Sink(sim), Sink(sim)
+    cable = Cable(sim, a, b, rate_bps=mbps(100), delay=0.0, full_duplex=False)
+    cable.attachment_a.send(make_frame(1000))
+    cable.attachment_b.send(make_frame(1000))
+    sim.run()
+    tx = transmission_time(make_frame(1000).wire_size, mbps(100))
+    assert b.received[0][0] == pytest.approx(tx)
+    assert a.received[0][0] == pytest.approx(2 * tx)  # waited for the first
+
+
+def test_cable_loss_model_drops():
+    sim = Simulator()
+    a, b = Sink(sim), Sink(sim)
+    cable = Cable(
+        sim, a, b, rate_bps=mbps(100), loss_model=ScriptedLoss(drop_indices=[2])
+    )
+    for _ in range(3):
+        cable.attachment_a.send(make_frame())
+    sim.run()
+    assert len(b.received) == 2
+    assert cable.loss_model.dropped == 1
+
+
+def test_cable_counters():
+    sim = Simulator()
+    a, b = Sink(sim), Sink(sim)
+    cable = Cable(sim, a, b, rate_bps=mbps(100))
+    frame = make_frame(500)
+    cable.attachment_a.send(frame)
+    sim.run()
+    assert cable.frames_carried == 1
+    assert cable.bytes_carried == frame.wire_size
+
+
+def test_cable_rejects_bad_parameters():
+    sim = Simulator()
+    a, b = Sink(sim), Sink(sim)
+    from repro.errors import NetworkError
+
+    with pytest.raises(NetworkError):
+        Cable(sim, a, b, rate_bps=0)
+    with pytest.raises(NetworkError):
+        Cable(sim, a, b, rate_bps=1000, delay=-1)
+
+
+def test_hub_broadcasts_to_all_but_sender():
+    sim = Simulator()
+    hub = Hub(sim, rate_bps=mbps(100))
+    sinks = [Sink(sim) for _ in range(4)]
+    attachments = [hub.attach(sink) for sink in sinks]
+    attachments[0].send(make_frame())
+    sim.run()
+    assert len(sinks[0].received) == 0  # no echo to sender
+    assert all(len(sink.received) == 1 for sink in sinks[1:])
+
+
+def test_hub_serialises_all_senders():
+    sim = Simulator()
+    hub = Hub(sim, rate_bps=mbps(100))
+    a, b, c = Sink(sim), Sink(sim), Sink(sim)
+    att_a = hub.attach(a)
+    att_b = hub.attach(b)
+    hub.attach(c)
+    att_a.send(make_frame(1000))
+    att_b.send(make_frame(1000))
+    sim.run()
+    tx = transmission_time(make_frame(1000).wire_size, mbps(100))
+    assert [when for when, _ in c.received] == pytest.approx([tx, 2 * tx])
+
+
+def test_hub_detach_stops_delivery():
+    sim = Simulator()
+    hub = Hub(sim, rate_bps=mbps(100))
+    a, b = Sink(sim), Sink(sim)
+    att_a = hub.attach(a)
+    att_b = hub.attach(b)
+    att_b.detach()
+    att_a.send(make_frame())
+    sim.run()
+    assert b.received == []

@@ -1,0 +1,227 @@
+"""Tests for coroutine processes, semaphores and channels."""
+
+import pytest
+
+from repro.errors import InterruptError, ProcessError
+from repro.sim.process import Channel, Semaphore
+from repro.sim.simulator import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=0)
+
+
+def test_process_runs_and_returns_value(sim):
+    def worker():
+        yield sim.timeout(1.0)
+        return "result"
+
+    process = sim.spawn(worker())
+    sim.run()
+    assert process.triggered
+    assert process.value == "result"
+    assert sim.now == 1.0
+
+
+def test_process_receives_event_values(sim):
+    def worker():
+        value = yield sim.timeout(1.0, value=99)
+        return value
+
+    process = sim.spawn(worker())
+    sim.run()
+    assert process.value == 99
+
+
+def test_processes_can_join_each_other(sim):
+    def child():
+        yield sim.timeout(2.0)
+        return "child-done"
+
+    def parent():
+        result = yield sim.spawn(child())
+        return f"saw {result}"
+
+    process = sim.spawn(parent())
+    sim.run()
+    assert process.value == "saw child-done"
+
+
+def test_failed_event_raises_inside_process(sim):
+    event = sim.event()
+
+    def worker():
+        try:
+            yield event
+        except RuntimeError as exc:
+            return f"caught {exc}"
+
+    process = sim.spawn(worker())
+    sim.schedule(1.0, event.fail, RuntimeError("injected"))
+    sim.run()
+    assert process.value == "caught injected"
+
+
+def test_uncaught_exception_fails_joiners(sim):
+    def bad():
+        yield sim.timeout(1.0)
+        raise ValueError("oops")
+
+    def parent():
+        try:
+            yield sim.spawn(bad())
+        except ValueError:
+            return "propagated"
+
+    process = sim.spawn(parent())
+    sim.run()
+    assert process.value == "propagated"
+
+
+def test_uncaught_exception_without_joiner_surfaces(sim):
+    def bad():
+        yield sim.timeout(1.0)
+        raise ValueError("unobserved")
+
+    sim.spawn(bad())
+    with pytest.raises(ValueError):
+        sim.run()
+
+
+def test_yielding_non_event_is_an_error(sim):
+    def wrong():
+        yield 42
+
+    sim.spawn(wrong())
+    with pytest.raises(ProcessError):
+        sim.run()
+
+
+def test_interrupt_raises_at_yield_point(sim):
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+        except InterruptError as exc:
+            return (f"interrupted: {exc.cause}", sim.now)
+
+    process = sim.spawn(sleeper())
+    sim.schedule(1.0, process.interrupt, "wakeup")
+    sim.run()
+    message, interrupted_at = process.value
+    assert message == "interrupted: wakeup"
+    assert interrupted_at == 1.0  # not at the timeout's 100 s
+
+
+def test_interrupt_after_completion_is_noop(sim):
+    def quick():
+        yield sim.timeout(1.0)
+        return 1
+
+    process = sim.spawn(quick())
+    sim.run()
+    process.interrupt()  # must not raise
+    assert process.value == 1
+
+
+def test_kill_terminates_without_result(sim):
+    log = []
+
+    def worker():
+        try:
+            yield sim.timeout(100.0)
+        finally:
+            log.append("cleanup")
+
+    process = sim.spawn(worker())
+    sim.run(until=1.0)
+    process.kill()
+    assert process.triggered
+    assert log == ["cleanup"]
+
+
+def test_spawn_requires_generator(sim):
+    with pytest.raises(ProcessError):
+        sim.spawn(lambda: None)
+
+
+def test_yield_already_triggered_event_does_not_recurse(sim):
+    """A long chain of immediately-ready events must not blow the stack."""
+    def worker():
+        for _ in range(5000):
+            event = sim.event()
+            event.succeed(1)
+            yield event
+        return "ok"
+
+    process = sim.spawn(worker())
+    sim.run()
+    assert process.value == "ok"
+
+
+def test_semaphore_serializes(sim):
+    sem = Semaphore(sim, value=1)
+    order = []
+
+    def worker(name, hold):
+        yield sem.acquire()
+        order.append(f"{name}-in")
+        yield sim.timeout(hold)
+        order.append(f"{name}-out")
+        sem.release()
+
+    sim.spawn(worker("a", 2.0))
+    sim.spawn(worker("b", 1.0))
+    sim.run()
+    assert order == ["a-in", "a-out", "b-in", "b-out"]
+
+
+def test_semaphore_counts(sim):
+    sem = Semaphore(sim, value=2)
+    acquired = []
+
+    def worker(name):
+        yield sem.acquire()
+        acquired.append(name)
+
+    sim.spawn(worker("a"))
+    sim.spawn(worker("b"))
+    sim.spawn(worker("c"))
+    sim.run()
+    assert acquired == ["a", "b"]  # third waits forever
+    assert sem.value == 0
+
+
+def test_semaphore_rejects_negative(sim):
+    with pytest.raises(ProcessError):
+        Semaphore(sim, value=-1)
+
+
+def test_channel_fifo(sim):
+    channel = Channel(sim)
+    received = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield channel.get()
+            received.append(item)
+
+    sim.spawn(consumer())
+    for value in (1, 2, 3):
+        channel.put(value)
+    sim.run()
+    assert received == [1, 2, 3]
+
+
+def test_channel_get_blocks_until_put(sim):
+    channel = Channel(sim)
+    result = {}
+
+    def consumer():
+        result["item"] = yield channel.get()
+        result["time"] = sim.now
+
+    sim.spawn(consumer())
+    sim.schedule(5.0, channel.put, "late")
+    sim.run()
+    assert result == {"item": "late", "time": 5.0}

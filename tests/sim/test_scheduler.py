@@ -1,0 +1,131 @@
+"""Tests for the event heap scheduler."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import PRIORITY_LOW, PRIORITY_URGENT
+from repro.sim.scheduler import Scheduler
+
+
+def test_starts_at_time_zero():
+    scheduler = Scheduler()
+    assert scheduler.now == 0.0
+    assert scheduler.pending_count == 0
+
+
+def test_runs_events_in_time_order():
+    scheduler = Scheduler()
+    order = []
+    scheduler.schedule_at(2.0, order.append, (2,))
+    scheduler.schedule_at(1.0, order.append, (1,))
+    scheduler.schedule_at(3.0, order.append, (3,))
+    scheduler.run_until()
+    assert order == [1, 2, 3]
+    assert scheduler.now == 3.0
+
+
+def test_same_time_events_run_in_insertion_order():
+    scheduler = Scheduler()
+    order = []
+    for value in range(5):
+        scheduler.schedule_at(1.0, order.append, (value,))
+    scheduler.run_until()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_priority_breaks_time_ties():
+    scheduler = Scheduler()
+    order = []
+    scheduler.schedule_at(1.0, order.append, ("low",), priority=PRIORITY_LOW)
+    scheduler.schedule_at(1.0, order.append, ("urgent",), priority=PRIORITY_URGENT)
+    scheduler.run_until()
+    assert order == ["urgent", "low"]
+
+
+def test_cannot_schedule_in_the_past():
+    scheduler = Scheduler()
+    scheduler.schedule_at(5.0, lambda: None)
+    scheduler.run_until()
+    with pytest.raises(SimulationError):
+        scheduler.schedule_at(1.0, lambda: None)
+
+
+def test_cancelled_events_do_not_run():
+    scheduler = Scheduler()
+    ran = []
+    handle = scheduler.schedule_at(1.0, ran.append, (1,))
+    handle.cancel()
+    scheduler.run_until()
+    assert ran == []
+    assert handle.cancelled
+
+
+def test_cancel_is_idempotent():
+    scheduler = Scheduler()
+    handle = scheduler.schedule_at(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert handle.cancelled
+
+
+def test_run_until_time_bound_advances_clock_exactly():
+    scheduler = Scheduler()
+    ran = []
+    scheduler.schedule_at(1.0, ran.append, (1,))
+    scheduler.schedule_at(10.0, ran.append, (10,))
+    scheduler.run_until(until=5.0)
+    assert ran == [1]
+    assert scheduler.now == 5.0
+    scheduler.run_until(until=10.0)
+    assert ran == [1, 10]
+
+
+def test_run_until_max_events():
+    scheduler = Scheduler()
+    ran = []
+    for value in range(10):
+        scheduler.schedule_at(float(value), ran.append, (value,))
+    scheduler.run_until(max_events=3)
+    assert ran == [0, 1, 2]
+
+
+def test_events_scheduled_during_execution_run():
+    scheduler = Scheduler()
+    order = []
+
+    def outer():
+        order.append("outer")
+        scheduler.schedule_at(scheduler.now + 1.0, lambda: order.append("inner"))
+
+    scheduler.schedule_at(1.0, outer)
+    scheduler.run_until()
+    assert order == ["outer", "inner"]
+    assert scheduler.now == 2.0
+
+
+def test_peek_time_skips_cancelled():
+    scheduler = Scheduler()
+    first = scheduler.schedule_at(1.0, lambda: None)
+    scheduler.schedule_at(2.0, lambda: None)
+    first.cancel()
+    assert scheduler.peek_time() == 2.0
+
+
+def test_heap_compaction_with_many_cancellations():
+    scheduler = Scheduler()
+    handles = [scheduler.schedule_at(1.0 + i, lambda: None) for i in range(10000)]
+    for handle in handles[:9000]:
+        handle.cancel()
+    survivor_ran = []
+    scheduler.schedule_at(0.5, survivor_ran.append, (True,))
+    scheduler.run_until(until=0.6)
+    assert survivor_ran == [True]
+    assert scheduler.pending_count == 1000
+
+
+def test_executed_count():
+    scheduler = Scheduler()
+    for i in range(5):
+        scheduler.schedule_at(float(i), lambda: None)
+    scheduler.run_until()
+    assert scheduler.executed_count == 5

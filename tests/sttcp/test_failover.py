@@ -1,0 +1,200 @@
+"""Failover tests (§4.4, §5, §6.2): detection, takeover, transparency."""
+
+import pytest
+
+from repro.apps.workload import (
+    bulk_workload,
+    echo_workload,
+    interactive_workload,
+    upload_workload,
+)
+from repro.harness.runner import run_workload
+from repro.sttcp.backup import ROLE_ACTIVE
+from repro.util.units import KB
+
+from tests.sttcp.conftest import make_scenario
+
+
+def failover_run(workload, seed=77, crash_fraction=0.5, deadline=300.0, **scenario_kwargs):
+    """Measure the failure-free run, then re-run with a mid-run crash.
+
+    Returns (scenario, failed_run, baseline_run).
+    """
+    baseline = run_workload(
+        workload, scenario=make_scenario(seed=seed, **scenario_kwargs), deadline=deadline
+    ).require_clean()
+    scenario = make_scenario(seed=seed, **scenario_kwargs)
+    crash_at = 0.1 + crash_fraction * baseline.total_time
+    run = run_workload(workload, scenario=scenario, crash_at=crash_at, deadline=deadline)
+    return scenario, run, baseline
+
+
+@pytest.mark.parametrize(
+    "workload",
+    [echo_workload(20), interactive_workload(10), bulk_workload(256 * KB), upload_workload(256 * KB)],
+    ids=["echo", "interactive", "bulk", "upload"],
+)
+def test_client_completes_and_verifies_through_failover(workload):
+    scenario, run, _ = failover_run(workload)
+    assert run.result.error is None
+    assert run.result.verified
+    assert scenario.pair.failed_over
+    assert not scenario.primary.is_up
+
+
+def test_detection_latency_within_three_to_four_heartbeats():
+    scenario, run, _ = failover_run(echo_workload(30), hb_interval=0.05)
+    metrics = run.failover
+    assert metrics.detection_latency is not None
+    assert 3 * 0.05 <= metrics.detection_latency <= 4 * 0.05 + 0.01
+
+
+def test_takeover_includes_stonith_delay():
+    scenario, run, _ = failover_run(
+        echo_workload(30), hb_interval=0.05, stonith_delay=0.02
+    )
+    metrics = run.failover
+    assert metrics.takeover_latency - metrics.detection_latency >= 0.02
+
+
+def test_failover_time_scales_with_heartbeat_interval():
+    """The paper's central Table 2 relationship."""
+    times = {}
+    for hb in (0.05, 0.4):
+        _scenario, failed, baseline = failover_run(
+            echo_workload(30), seed=81, hb_interval=hb
+        )
+        assert failed.result.verified
+        times[hb] = failed.total_time - baseline.total_time
+    assert times[0.4] > times[0.05] * 3
+
+
+def test_client_never_learns_about_the_failover():
+    """The client's TCP sees no RST and no address change — only a pause."""
+    scenario, run, _ = failover_run(bulk_workload(256 * KB))
+    assert run.result.error is None
+    # Exactly one client connection existed for the whole run.
+    assert run.result.exchanges_done == 1
+    assert scenario.client.tcp.resets_sent == 0
+
+
+def test_backup_answers_arp_after_takeover():
+    scenario, _run, _ = failover_run(echo_workload(20))
+    from repro.harness.scenario import SERVICE_IP
+
+    assert SERVICE_IP not in scenario.backup.arp.suppressed_ips
+
+
+def test_new_connections_served_by_backup_after_failover():
+    scenario, _run, _ = failover_run(echo_workload(20))
+    assert scenario.pair.backup_engine.role is ROLE_ACTIVE
+    # A brand-new client connection must now be served by the backup.
+    late = run_workload(echo_workload(5), scenario=scenario, deadline=60.0)
+    assert late.result.error is None
+    assert late.result.verified
+    # And it is a regular (non-shadow) connection on the backup.
+    new_conns = [t for t in scenario.backup.tcp.connections if not t.shadow_mode]
+    assert new_conns or scenario.backup.tcp.segments_demuxed > 0
+
+
+def test_crash_before_any_connection_still_fails_over():
+    scenario = make_scenario()
+    scenario.start_service()
+    scenario.crash_primary_at(0.05)
+    scenario.sim.run(until=2.0)
+    assert scenario.pair.failed_over
+    # A client arriving after the takeover is served by the backup.
+    run = run_workload(echo_workload(5), scenario=scenario, deadline=60.0)
+    assert run.result.error is None and run.result.verified
+
+
+def test_crash_during_handshake_window():
+    """Crash right around connection establishment: the shadow holds the
+    connection even if the primary dies within the first exchanges."""
+    scenario = make_scenario()
+    run = run_workload(
+        echo_workload(20), scenario=scenario, crash_at=0.101, deadline=300.0
+    )
+    assert run.result.error is None
+    assert run.result.verified
+
+
+def test_upload_failover_uses_backup_receive_state():
+    """For an upload, the backup must continue the *receive* stream where
+    its tap left off — the client retransmits only what nobody acked."""
+    scenario, run, _ = failover_run(upload_workload(512 * KB))
+    assert run.result.error is None
+    assert run.result.verified  # server-side receipt confirmed all bytes
+
+
+def test_shadow_suppression_lifted_on_all_connections():
+    scenario, _run, _ = failover_run(echo_workload(20))
+    for tcb in scenario.pair.backup_engine.shadow_connections:
+        assert not tcb.suppress_output
+
+
+def test_force_failover_for_planned_maintenance():
+    scenario = make_scenario()
+    scenario.start_service()
+    scenario.sim.run(until=0.1)
+    scenario.pair.backup_engine.force_failover()
+    scenario.sim.run(until=0.5)
+    assert scenario.pair.failed_over
+    assert not scenario.primary.is_up  # STONITH made the suspicion true
+
+
+def test_wrong_suspicion_made_safe_by_stonith():
+    """Partition the UDP channel while the primary is healthy: the backup
+    wrongly suspects, but the power switch kills the primary *before* the
+    takeover, so the client never sees two servers (§3.2, §4.4)."""
+    from repro.faults.injection import partition_channel
+
+    scenario = make_scenario(hb_interval=0.05)
+    scenario.start_service()
+    partition_channel(scenario.hub, scenario.pair.config.channel_port)
+    run = run_workload(echo_workload(50), scenario=scenario, deadline=120.0)
+    assert run.result.error is None and run.result.verified
+    # Let the (wrong) suspicion mature, then verify it was made safe.
+    scenario.sim.run(until=scenario.sim.now + 1.0)
+    assert scenario.pair.failed_over
+    assert not scenario.primary.is_up
+    # Takeover strictly after the primary was powered off.
+    assert scenario.pair.backup_engine.takeover_time >= scenario.primary.crashed_at
+    # Service continues: a fresh client run is served by the new primary.
+    late = run_workload(echo_workload(5), scenario=scenario, deadline=60.0)
+    assert late.result.error is None and late.result.verified
+
+
+def test_failover_in_switched_topology():
+    scenario, run, _ = failover_run(bulk_workload(128 * KB), topology="switched")
+    assert run.result.error is None
+    assert run.result.verified
+    assert scenario.pair.failed_over
+
+
+def test_multiple_connections_all_survive_failover():
+    scenario = make_scenario()
+    scenario.start_service()
+    results = []
+
+    def client_runner():
+        from repro.apps.client import client_session
+
+        result = yield scenario.client.spawn(
+            client_session(scenario.client, scenario.service_addr, echo_workload(40))
+        )
+        results.append(result)
+
+    def all_clients():
+        processes = [
+            scenario.client.spawn(client_runner(), f"runner-{i}") for i in range(3)
+        ]
+        for process in processes:
+            yield process
+
+    scenario.crash_primary_at(0.12)
+    driver = scenario.client.spawn(all_clients(), "driver")
+    scenario.sim.run_until_complete(driver, deadline=120.0)
+    assert len(results) == 3
+    assert all(r.error is None and r.verified for r in results)
+    assert len(scenario.pair.backup_engine.shadow_connections) == 3

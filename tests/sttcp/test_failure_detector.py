@@ -1,0 +1,105 @@
+"""Tests for heartbeat monitoring and the power switch."""
+
+import pytest
+
+from repro.host.host import Host
+from repro.sim.simulator import Simulator
+from repro.sttcp.failure_detector import HeartbeatMonitor
+from repro.sttcp.power_switch import PowerSwitch
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=3)
+
+
+def test_detection_latency_within_paper_bounds(sim):
+    """Silence is detected between threshold·HB and (threshold+1)·HB —
+    "with an HB every 5 sec ... 15 to 20 seconds" (§6.2)."""
+    suspected = []
+    monitor = HeartbeatMonitor(sim, interval=5.0, threshold=3, on_suspect=lambda: suspected.append(sim.now))
+    monitor.start()
+    # Heartbeats arrive until t=12.3, then the peer dies.
+    for t in (5.0, 10.0, 12.3):
+        sim.schedule_at(t, monitor.heard)
+    sim.run(until=60.0)
+    assert len(suspected) == 1
+    silence = suspected[0] - 12.3
+    assert 15.0 <= silence < 20.0 + 1e-9
+
+
+def test_no_suspicion_while_heartbeats_flow(sim):
+    suspected = []
+    monitor = HeartbeatMonitor(sim, interval=0.05, threshold=3, on_suspect=lambda: suspected.append(sim.now))
+    monitor.start()
+
+    def heartbeats():
+        for _ in range(100):
+            monitor.heard()
+            yield sim.timeout(0.05)
+
+    sim.spawn(heartbeats())
+    sim.run(until=5.0)
+    assert suspected == []
+
+
+def test_stop_prevents_suspicion(sim):
+    suspected = []
+    monitor = HeartbeatMonitor(sim, interval=0.1, threshold=3, on_suspect=lambda: suspected.append(1))
+    monitor.start()
+    monitor.stop()
+    sim.run(until=10.0)
+    assert suspected == []
+
+
+def test_suspicion_fires_only_once(sim):
+    suspected = []
+    monitor = HeartbeatMonitor(sim, interval=0.1, threshold=3, on_suspect=lambda: suspected.append(sim.now))
+    monitor.start()
+    sim.run(until=10.0)
+    assert len(suspected) == 1
+    assert monitor.suspected
+    assert monitor.suspected_at == suspected[0]
+
+
+def test_late_message_does_not_unsuspect(sim):
+    monitor = HeartbeatMonitor(sim, interval=0.1, threshold=3, on_suspect=lambda: None)
+    monitor.start()
+    sim.run(until=1.0)
+    assert monitor.suspected
+    monitor.heard()
+    assert monitor.suspected  # suspicions are permanent (made true by STONITH)
+
+
+def test_parameters_validated(sim):
+    with pytest.raises(ValueError):
+        HeartbeatMonitor(sim, interval=0.0, threshold=3, on_suspect=lambda: None)
+    with pytest.raises(ValueError):
+        HeartbeatMonitor(sim, interval=1.0, threshold=0, on_suspect=lambda: None)
+
+
+def test_power_switch_crashes_host_after_actuation(sim):
+    host = Host(sim, "victim")
+    switch = PowerSwitch(sim, actuation_delay=0.010)
+    done = []
+    switch.cut_power(host, lambda: done.append(sim.now))
+    assert host.is_up  # not yet
+    sim.run(until=1.0)
+    assert not host.is_up
+    assert done == [pytest.approx(0.010)]
+    assert switch.cuts_performed == 1
+
+
+def test_power_switch_idempotent_on_dead_host(sim):
+    host = Host(sim, "victim")
+    host.crash()
+    switch = PowerSwitch(sim, actuation_delay=0.010)
+    done = []
+    switch.cut_power(host, lambda: done.append(True))
+    sim.run(until=1.0)
+    assert done == [True]  # callback still runs
+
+
+def test_power_switch_rejects_negative_delay(sim):
+    with pytest.raises(ValueError):
+        PowerSwitch(sim, actuation_delay=-0.1)

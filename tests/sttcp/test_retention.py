@@ -1,0 +1,120 @@
+"""Tests for the primary's second receive buffer (§4.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FailoverError
+from repro.sttcp.retention import SecondReceiveBuffer
+from repro.util.bytespan import PatternBytes, RealBytes
+
+
+def test_retains_read_bytes():
+    buffer = SecondReceiveBuffer(100)
+    buffer.on_read(0, RealBytes(b"abcdef"))
+    assert buffer.retained_bytes == 6
+    assert buffer.lowest_retained_offset == 0
+
+
+def test_backup_ack_releases():
+    buffer = SecondReceiveBuffer(100)
+    buffer.on_read(0, RealBytes(b"abcdef"))
+    assert buffer.backup_acked(4) == 4
+    assert buffer.retained_bytes == 2
+    assert buffer.lowest_retained_offset == 4
+
+
+def test_backup_ack_clamped_to_retained_range():
+    buffer = SecondReceiveBuffer(100)
+    buffer.on_read(0, RealBytes(b"abc"))
+    # The backup's NextByteExpected can run ahead of the primary's reads.
+    assert buffer.backup_acked(1000) == 3
+    assert buffer.retained_bytes == 0
+
+
+def test_backup_ack_backwards_is_noop():
+    buffer = SecondReceiveBuffer(100)
+    buffer.on_read(0, RealBytes(b"abcdef"))
+    buffer.backup_acked(5)
+    assert buffer.backup_acked(2) == 0
+
+
+def test_overflow_counts_beyond_capacity():
+    buffer = SecondReceiveBuffer(10)
+    buffer.on_read(0, RealBytes(b"x" * 10))
+    assert buffer.overflow_bytes() == 0
+    buffer.on_read(10, RealBytes(b"y" * 5))
+    assert buffer.overflow_bytes() == 5  # second buffer full → pinches window
+    buffer.backup_acked(8)
+    assert buffer.overflow_bytes() == 0
+
+
+def test_fetch_serves_recovery_ranges():
+    buffer = SecondReceiveBuffer(100)
+    buffer.on_read(0, RealBytes(b"0123456789"))
+    assert buffer.fetch(2, 6).to_bytes() == b"2345"
+    assert buffer.fetch(50, 60).to_bytes() == b""  # outside retained range
+    buffer.backup_acked(5)
+    assert buffer.fetch(0, 10).to_bytes() == b"56789"  # clipped at head
+
+
+def test_non_contiguous_read_rejected():
+    buffer = SecondReceiveBuffer(100)
+    buffer.on_read(0, RealBytes(b"abc"))
+    with pytest.raises(FailoverError):
+        buffer.on_read(10, RealBytes(b"zzz"))
+
+
+def test_disable_reverts_to_standard_tcp():
+    buffer = SecondReceiveBuffer(10)
+    buffer.on_read(0, RealBytes(b"x" * 20))
+    buffer.disable()
+    assert buffer.overflow_bytes() == 0
+    assert buffer.retained_bytes == 0
+    buffer.on_read(20, RealBytes(b"more"))  # silently ignored now
+    assert buffer.retained_bytes == 0
+
+
+def test_counters_track_pressure():
+    buffer = SecondReceiveBuffer(8)
+    buffer.on_read(0, RealBytes(b"x" * 12))
+    assert buffer.peak_usage == 12
+    assert buffer.overflow_byte_peak == 4
+    assert buffer.bytes_retained_total == 12
+    buffer.backup_acked(12)
+    assert buffer.bytes_released_total == 12
+
+
+def test_capacity_validated():
+    with pytest.raises(ValueError):
+        SecondReceiveBuffer(0)
+
+
+@given(st.data())
+def test_prop_retention_invariants(data):
+    """Retained range is always [acked, read-high); fetch serves exactly
+    the intersection of the request and the retained range."""
+    capacity = data.draw(st.integers(1, 64))
+    buffer = SecondReceiveBuffer(capacity)
+    offset = 0
+    acked = 0
+    for _ in range(data.draw(st.integers(1, 10))):
+        if data.draw(st.booleans()):
+            length = data.draw(st.integers(1, 32))
+            buffer.on_read(offset, PatternBytes(length, offset, 9))
+            offset += length
+        else:
+            target = data.draw(st.integers(0, offset + 10))
+            buffer.backup_acked(target)
+            acked = max(acked, min(target, offset))
+        assert buffer.lowest_retained_offset == acked
+        assert buffer.retained_bytes == offset - acked
+        assert buffer.overflow_bytes() == max(0, (offset - acked) - capacity)
+        lo = data.draw(st.integers(0, offset + 5))
+        hi = data.draw(st.integers(lo, offset + 5))
+        got = buffer.fetch(lo, hi)
+        expected_lo, expected_hi = max(lo, acked), min(hi, offset)
+        if expected_lo < expected_hi:
+            assert got == PatternBytes(expected_hi - expected_lo, expected_lo, 9)
+        else:
+            assert len(got) == 0

@@ -1,0 +1,147 @@
+"""UDP-channel tests (§4.2–4.3): tap-loss repair, messages, backup failure."""
+
+import pytest
+
+from repro.apps.workload import bulk_workload, echo_workload, upload_workload
+from repro.faults.injection import add_tap_loss, add_tap_outage
+from repro.harness.runner import run_workload
+from repro.sttcp.messages import (
+    AckReply,
+    BackupAck,
+    Heartbeat,
+    RetxData,
+    RetxRequest,
+    SMALL_MESSAGE_SIZE,
+    conn_key,
+)
+from repro.util.bytespan import RealBytes
+from repro.util.units import KB
+
+from tests.sttcp.conftest import make_scenario
+
+
+# ------------------------------------------------------------------- messages
+def test_small_messages_cost_128_bytes_on_the_wire():
+    """§4.3: 'the total length (including all header overheads down to
+    Ethernet) of an ack packet is 128 bytes'."""
+    from repro.net.frame import ETHERNET_OVERHEAD
+    from repro.ip.datagram import IP_HEADER_SIZE
+    from repro.udp.datagram import UDP_HEADER_SIZE
+
+    ack = BackupAck((1, 2), 12345)
+    total = ack.wire_size + UDP_HEADER_SIZE + IP_HEADER_SIZE + ETHERNET_OVERHEAD
+    assert total == 128
+    for message in (Heartbeat("primary", 1), AckReply((1, 2), 5), RetxRequest((1, 2), 0, 9)):
+        assert message.wire_size == SMALL_MESSAGE_SIZE
+
+
+def test_retx_data_sizes_by_payload():
+    message = RetxData((1, 2), 0, RealBytes(b"x" * 100))
+    assert message.wire_size == 132
+
+
+def test_conn_key_is_value_based():
+    from repro.net.addresses import ip
+
+    assert conn_key(ip("10.0.0.10"), 5000) == conn_key(ip("10.0.0.10"), 5000)
+    assert conn_key(ip("10.0.0.10"), 5000) != conn_key(ip("10.0.0.10"), 5001)
+
+
+# ---------------------------------------------------------- tap-loss recovery
+def test_random_tap_loss_repaired_over_channel():
+    """Frames the backup's tap drops are repaired by RETX_REQUEST —
+    invisible to the client, and the shadow ends with the full stream."""
+    scenario = make_scenario(seed=90, retx_request_timeout=0.02)
+    rng = scenario.sim.random.stream("taploss")
+    add_tap_loss(scenario.backup.nics[0], rng, 0.05)
+    run = run_workload(upload_workload(256 * KB), scenario=scenario, deadline=120.0)
+    assert run.result.error is None and run.result.verified
+    scenario.sim.run(until=scenario.sim.now + 1.0)  # let repairs finish
+    backup = scenario.pair.backup_engine
+    assert backup.retx_requests_sent > 0
+    assert backup.retx_bytes_recovered > 0
+    shadow = backup.shadow_connections[0]
+    assert shadow.recv_buffer.rcv_nxt_offset >= 256 * KB
+
+
+def test_tap_outage_repaired_when_primary_survives():
+    scenario = make_scenario(seed=91, retx_request_timeout=0.02)
+    add_tap_outage(scenario.backup.nics[0], 0.12, 0.16)
+    run = run_workload(upload_workload(256 * KB), scenario=scenario, deadline=120.0)
+    assert run.result.error is None and run.result.verified
+    scenario.sim.run(until=scenario.sim.now + 1.0)
+    backup = scenario.pair.backup_engine
+    assert backup.retx_bytes_recovered > 0
+    primary_engine = scenario.pair.primary_engine
+    assert primary_engine.retx_requests_served > 0
+
+
+def test_tap_loss_on_download_workload_recovers_ack_stream():
+    """Even for downloads the backup must keep its (tiny) client receive
+    stream complete; heavy tap loss must not wedge the shadow."""
+    scenario = make_scenario(seed=92, retx_request_timeout=0.02)
+    rng = scenario.sim.random.stream("taploss2")
+    add_tap_loss(scenario.backup.nics[0], rng, 0.10)
+    run = run_workload(bulk_workload(128 * KB), scenario=scenario, deadline=120.0)
+    assert run.result.error is None and run.result.verified
+    scenario.sim.run(until=scenario.sim.now + 1.0)
+    shadow = scenario.pair.backup_engine.shadow_connections[0]
+    primary_tcb_offset = 150  # the single request record
+    assert shadow.recv_buffer.rcv_nxt_offset >= primary_tcb_offset
+
+
+def test_retention_only_released_after_backup_ack():
+    """Bytes the backup missed must still be fetchable from the primary
+    until acknowledged — the §4.2 guarantee."""
+    scenario = make_scenario(seed=93, sync_time=10.0, ack_threshold_fraction=1.0)
+    # Backup drops everything in a window and acks almost never.
+    add_tap_outage(scenario.backup.nics[0], 0.12, 0.14)
+    run = run_workload(upload_workload(64 * KB), scenario=scenario, deadline=120.0)
+    assert run.result.error is None
+    state = list(scenario.pair.primary_engine._connections.values())[0]
+    retention = state.retention
+    # Whatever the backup has not acked is still here (or was served).
+    backup_acked = scenario.pair.backup_engine.acks_sent
+    assert retention.retained_bytes > 0 or backup_acked > 0
+
+
+# ------------------------------------------------------------- backup failure
+def test_backup_crash_switches_primary_to_non_fault_tolerant_mode():
+    scenario = make_scenario(hb_interval=0.05)
+    scenario.start_service()
+    scenario.sim.run(until=0.1)
+    scenario.backup.crash()
+    scenario.sim.run(until=1.0)
+    primary_engine = scenario.pair.primary_engine
+    assert not primary_engine.fault_tolerant
+    assert primary_engine.backup_failed_at is not None
+    # Detection took 3–4 heartbeat intervals.
+    latency = primary_engine.backup_failed_at - 0.1
+    assert 0.15 <= latency <= 0.25
+
+
+def test_service_continues_after_backup_failure():
+    """Losing the backup costs fault tolerance, not service."""
+    scenario = make_scenario(hb_interval=0.05)
+    scenario.start_service()
+    scenario.sim.run(until=0.05)
+    scenario.backup.crash()
+    run = run_workload(upload_workload(128 * KB), scenario=scenario, deadline=120.0)
+    assert run.result.error is None and run.result.verified
+    # Retention disabled: nothing accumulates on the primary any more.
+    for state in scenario.pair.primary_engine._connections.values():
+        assert not state.retention.enabled
+        assert state.retention.retained_bytes == 0
+
+
+def test_backup_failure_does_not_pinch_primary_window():
+    """Without the backup, the second buffer must stop consuming window
+    (otherwise a dead backup would throttle the service forever)."""
+    scenario = make_scenario(hb_interval=0.05, second_buffer_size=2 * KB)
+    scenario.start_service()
+    scenario.sim.run(until=0.05)
+    scenario.backup.crash()
+    run = run_workload(upload_workload(256 * KB), scenario=scenario, deadline=120.0)
+    assert run.result.error is None and run.result.verified
+    for state in scenario.pair.primary_engine._connections.values():
+        assert state.retention.overflow_bytes() == 0

@@ -1,0 +1,163 @@
+"""Tests for the TCP send and receive buffers (incl. reassembly)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tcp.recv_buffer import ReceiveBuffer, RetentionPolicy
+from repro.tcp.send_buffer import SendBuffer
+from repro.util.bytespan import PatternBytes, RealBytes
+
+
+# ---------------------------------------------------------------- send buffer
+def test_send_buffer_accepts_up_to_capacity():
+    buffer = SendBuffer(100)
+    assert buffer.append(RealBytes(b"x" * 60)) == 60
+    assert buffer.append(RealBytes(b"y" * 60)) == 40
+    assert buffer.free_space == 0
+    assert len(buffer) == 100
+
+
+def test_send_buffer_ack_frees_space():
+    buffer = SendBuffer(100)
+    buffer.append(RealBytes(b"a" * 100))
+    assert buffer.ack_to(30) == 30
+    assert buffer.free_space == 30
+    assert buffer.una_offset == 30
+    assert buffer.ack_to(20) == 0  # going backwards is a no-op
+
+
+def test_send_buffer_data_range_for_retransmit():
+    buffer = SendBuffer(100)
+    buffer.append(RealBytes(b"0123456789"))
+    assert buffer.data_range(2, 6).to_bytes() == b"2345"
+    buffer.ack_to(4)
+    assert buffer.data_range(4, 8).to_bytes() == b"4567"
+
+
+def test_send_buffer_capacity_validated():
+    with pytest.raises(ValueError):
+        SendBuffer(0)
+
+
+# ----------------------------------------------------------------- recv buffer
+def test_in_order_insert_and_read():
+    buffer = ReceiveBuffer(1000)
+    assert buffer.insert(0, RealBytes(b"hello")) == 5
+    assert buffer.rcv_nxt_offset == 5
+    assert buffer.available == 5
+    assert buffer.read(5).to_bytes() == b"hello"
+    assert buffer.read_offset == 5
+
+
+def test_out_of_order_held_until_gap_fills():
+    buffer = ReceiveBuffer(1000)
+    assert buffer.insert(5, RealBytes(b"world")) == 0
+    assert buffer.available == 0
+    assert buffer.out_of_order_bytes == 5
+    assert buffer.first_gap() == (0, 5)
+    assert buffer.insert(0, RealBytes(b"hell o"[:5])) == 10  # gap fill drains
+    assert buffer.available == 10
+    assert buffer.first_gap() is None
+
+
+def test_duplicate_data_discarded():
+    buffer = ReceiveBuffer(1000)
+    buffer.insert(0, RealBytes(b"abcde"))
+    assert buffer.insert(0, RealBytes(b"abcde")) == 0
+    assert buffer.bytes_duplicated == 5
+    # Partial overlap: only the new tail is kept.
+    assert buffer.insert(3, RealBytes(b"defgh")) == 3
+    assert buffer.read(8).to_bytes() == b"abcdefgh"
+
+
+def test_overlapping_out_of_order_segments_clipped():
+    buffer = ReceiveBuffer(1000)
+    buffer.insert(10, RealBytes(b"KLMNO"))  # [10,15)
+    buffer.insert(8, RealBytes(b"IJKLMNOP"))  # [8,16) overlaps
+    assert buffer.out_of_order_bytes == 8  # [8,16) held once
+    buffer.insert(0, RealBytes(b"ABCDEFGH"))
+    assert buffer.read(16).to_bytes() == b"ABCDEFGHIJKLMNOP"
+
+
+def test_window_shrinks_with_buffered_data():
+    buffer = ReceiveBuffer(100)
+    buffer.insert(0, RealBytes(b"x" * 30))
+    assert buffer.window() == 70
+    buffer.insert(50, RealBytes(b"y" * 10))  # out of order counts too
+    assert buffer.window() == 60
+    buffer.read(30)
+    assert buffer.window() == 90
+
+
+def test_data_beyond_window_clipped():
+    buffer = ReceiveBuffer(10)
+    assert buffer.insert(0, RealBytes(b"a" * 20)) == 10
+    assert buffer.window() == 0
+
+
+def test_window_zero_rejects_new_data():
+    buffer = ReceiveBuffer(10)
+    buffer.insert(0, RealBytes(b"a" * 10))
+    assert buffer.insert(10, RealBytes(b"b")) == 0
+
+
+def test_peek_unread_serves_recovery_ranges():
+    buffer = ReceiveBuffer(100)
+    buffer.insert(0, RealBytes(b"0123456789"))
+    buffer.read(4)
+    assert buffer.peek_unread(4, 8).to_bytes() == b"4567"
+    assert buffer.peek_unread(0, 4).to_bytes() == b""  # already read
+
+
+class RecordingRetention(RetentionPolicy):
+    def __init__(self):
+        self.reads = []
+        self.overflow = 0
+
+    def on_read(self, start_offset, span):
+        self.reads.append((start_offset, span.to_bytes()))
+
+    def overflow_bytes(self):
+        return self.overflow
+
+
+def test_retention_hook_sees_read_bytes():
+    buffer = ReceiveBuffer(100)
+    retention = RecordingRetention()
+    buffer.retention = retention
+    buffer.insert(0, RealBytes(b"abcdef"))
+    buffer.read(4)
+    assert retention.reads == [(0, b"abcd")]
+
+
+def test_retention_overflow_consumes_window():
+    buffer = ReceiveBuffer(100)
+    retention = RecordingRetention()
+    retention.overflow = 25
+    buffer.retention = retention
+    assert buffer.window() == 75
+
+
+# -------------------------------------------------------------------- property
+@settings(max_examples=50)
+@given(st.data())
+def test_prop_reassembly_matches_reference_stream(data):
+    """Random segment arrival order must reassemble the exact stream."""
+    stream = PatternBytes(data.draw(st.integers(1, 400)), 0, 3)
+    total = len(stream)
+    # Split into random segments.
+    cuts = sorted(data.draw(st.sets(st.integers(1, total - 1), max_size=8))) if total > 1 else []
+    bounds = [0] + cuts + [total]
+    segments = [
+        (bounds[i], stream.slice(bounds[i], bounds[i + 1]))
+        for i in range(len(bounds) - 1)
+    ]
+    order = data.draw(st.permutations(segments))
+    buffer = ReceiveBuffer(1000)
+    advanced_total = 0
+    for start, span in order:
+        advanced_total += buffer.insert(start, span)
+    assert advanced_total == total
+    assert buffer.read(total).to_bytes() == stream.to_bytes()
+    assert buffer.out_of_order_bytes == 0

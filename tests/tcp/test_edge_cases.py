@@ -1,0 +1,240 @@
+"""TCP edge cases: half-close, backlog, concurrent flows, challenge ACKs."""
+
+import pytest
+
+from repro.errors import ConnectionClosed
+from repro.sim.simulator import Simulator
+from repro.tcp.config import TCPConfig
+from repro.tcp.constants import TCPState
+from repro.util.bytespan import PatternBytes
+from repro.util.units import KB, MB
+
+from tests.conftest import LanPair
+
+
+def test_half_close_peer_can_still_send():
+    """After our FIN, the peer may keep sending until it closes too."""
+    lan = LanPair(Simulator(seed=140))
+    sim = lan.sim
+    outcome = {}
+
+    def server():
+        listener = lan.b.tcp.listen(8000)
+        conn = yield listener.accept()
+        # Wait for the client's FIN (EOF), then send a farewell stream.
+        first = yield conn.recv(100)
+        assert len(first) == 0  # immediate EOF: client closed after SYN
+        yield conn.send(PatternBytes(20 * KB, 0, 3))
+        conn.close()
+
+    def client():
+        sock = lan.a.tcp.connect((lan.ip_b, 8000))
+        yield sock.wait_connected()
+        sock.close()  # half-close: FIN sent, receive side stays open
+        data = yield sock.recv_exactly(20 * KB)
+        outcome["ok"] = data == PatternBytes(20 * KB, 0, 3)
+        yield sock.wait_closed()
+        outcome["state"] = sock.state
+
+    lan.b.spawn(server())
+    process = lan.a.spawn(client())
+    sim.run_until_complete(process, deadline=60.0)
+    assert outcome["ok"]
+
+
+def test_listener_backlog_limits_pending_handshakes():
+    lan = LanPair(Simulator(seed=141))
+    listener = lan.b.tcp.listen(8000, backlog=2)
+    # Nobody accepts; more clients than backlog try to connect.
+    socks = [lan.a.tcp.connect((lan.ip_b, 8000)) for _ in range(4)]
+    lan.sim.run(until=0.5)
+    established = sum(1 for sock in socks if sock.connected)
+    assert established == 2
+    assert listener.may_accept_syn() is False
+
+
+def test_backlog_frees_as_connections_accepted():
+    lan = LanPair(Simulator(seed=142))
+    listener = lan.b.tcp.listen(8000, backlog=1)
+    first = lan.a.tcp.connect((lan.ip_b, 8000))
+    lan.sim.run(until=0.2)
+    assert first.connected
+
+    accepted = []
+
+    def acceptor():
+        conn = yield listener.accept()
+        accepted.append(conn)
+        conn2 = yield listener.accept()
+        accepted.append(conn2)
+
+    lan.b.spawn(acceptor())
+    lan.sim.run(until=0.4)
+    second = lan.a.tcp.connect((lan.ip_b, 8000))
+    lan.sim.run(until=1.0)
+    assert second.connected
+    assert len(accepted) == 2
+
+
+def test_many_concurrent_flows_share_the_hub():
+    """Five simultaneous transfers all complete with correct content."""
+    lan = LanPair(Simulator(seed=143))
+    sim = lan.sim
+    size = 200 * KB
+    results = []
+
+    def server():
+        listener = lan.b.tcp.listen(8000)
+        while True:
+            conn = yield listener.accept()
+            lan.b.spawn(handle(conn))
+
+    def handle(conn):
+        yield conn.send(PatternBytes(size, 0, 6))
+        conn.close()
+
+    def one_client():
+        sock = lan.a.tcp.connect((lan.ip_b, 8000))
+        yield sock.wait_connected()
+        data = yield sock.recv_exactly(size)
+        results.append(data == PatternBytes(size, 0, 6))
+        sock.close()
+
+    def all_clients():
+        processes = [lan.a.spawn(one_client(), f"flow-{i}") for i in range(5)]
+        for process in processes:
+            yield process
+
+    lan.b.spawn(server())
+    driver = lan.a.spawn(all_clients())
+    sim.run_until_complete(driver, deadline=120.0)
+    assert results == [True] * 5
+
+
+def test_flows_roughly_share_bandwidth():
+    """Two long transfers finish within a small factor of each other."""
+    lan = LanPair(Simulator(seed=144))
+    sim = lan.sim
+    size = 1 * MB
+    finish = {}
+
+    def server():
+        listener = lan.b.tcp.listen(8000)
+        while True:
+            conn = yield listener.accept()
+            lan.b.spawn(push(conn))
+
+    def push(conn):
+        yield conn.send(PatternBytes(size, 0, 6))
+        conn.close()
+
+    def one_client(name):
+        sock = lan.a.tcp.connect((lan.ip_b, 8000))
+        yield sock.wait_connected()
+        yield sock.recv_exactly(size)
+        finish[name] = sim.now
+        sock.close()
+
+    def both():
+        first = lan.a.spawn(one_client("a"))
+        second = lan.a.spawn(one_client("b"))
+        yield first
+        yield second
+
+    lan.b.spawn(server())
+    driver = lan.a.spawn(both())
+    sim.run_until_complete(driver, deadline=300.0)
+    assert max(finish.values()) < 2.5 * min(finish.values())
+
+
+def test_challenge_acks_are_rate_limited():
+    """A flood of out-of-window segments elicits at most the budget."""
+    lan = LanPair(Simulator(seed=145))
+    from repro.tcp.segment import TCPSegment
+    from repro.tcp.constants import FLAG_ACK
+    from repro.tcp.seqspace import wrap
+
+    results = {}
+
+    def server():
+        listener = lan.b.tcp.listen(8000)
+        conn = yield listener.accept()
+        results["tcb"] = conn.tcb
+        yield lan.sim.timeout(10.0)
+
+    def client():
+        sock = lan.a.tcp.connect((lan.ip_b, 8000))
+        yield sock.wait_connected()
+        results["client_tcb"] = sock.tcb
+        yield lan.sim.timeout(0.05)
+
+    lan.b.spawn(server())
+    process = lan.a.spawn(client())
+    lan.sim.run_until_complete(process, deadline=30.0)
+    tcb = results["tcb"]
+    sent_before = tcb.segments_sent
+    # Fire 50 wildly out-of-window segments directly into the TCB.
+    for index in range(50):
+        bogus = TCPSegment(
+            tcb.remote_port,
+            tcb.local_port,
+            wrap(tcb.rcv_nxt + 1_000_000 + index),
+            wrap(tcb.snd_una),
+            FLAG_ACK,
+            1000,
+        )
+        tcb.on_segment(bogus)
+    responses = tcb.segments_sent - sent_before
+    assert responses <= tcb._CHALLENGE_LIMIT
+
+
+def test_data_while_in_fin_wait_states():
+    """The active closer still ACKs and buffers peer data after its FIN."""
+    lan = LanPair(Simulator(seed=146))
+    sim = lan.sim
+    outcome = {}
+
+    def server():
+        listener = lan.b.tcp.listen(8000)
+        conn = yield listener.accept()
+        yield sim.timeout(0.05)  # client's FIN arrives first
+        yield conn.send(b"late data")
+        conn.close()
+
+    def client():
+        sock = lan.a.tcp.connect((lan.ip_b, 8000))
+        yield sock.wait_connected()
+        sock.close()
+        data = yield sock.recv_exactly(9)
+        outcome["data"] = data.to_bytes()
+
+    lan.b.spawn(server())
+    process = lan.a.spawn(client())
+    sim.run_until_complete(process, deadline=30.0)
+    assert outcome["data"] == b"late data"
+
+
+def test_recv_exactly_fails_on_reset():
+    from repro.errors import ConnectionReset
+
+    lan = LanPair(Simulator(seed=147))
+    outcome = {}
+
+    def server():
+        listener = lan.b.tcp.listen(8000)
+        conn = yield listener.accept()
+        yield lan.sim.timeout(0.01)
+        conn.abort()
+
+    def client():
+        sock = lan.a.tcp.connect((lan.ip_b, 8000))
+        yield sock.wait_connected()
+        try:
+            yield sock.recv_exactly(100)
+        except ConnectionReset:
+            outcome["error"] = "reset"
+
+    lan.b.spawn(server())
+    process = lan.a.spawn(client())
+    lan.sim.run_until_complete(process, deadline=30.0)
+    assert outcome["error"] == "reset"

@@ -1,0 +1,73 @@
+"""Tests for 32-bit sequence arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tcp.constants import SEQ_SPACE
+from repro.tcp.seqspace import seq_ge, seq_gt, seq_le, seq_lt, unwrap, wrap
+
+
+def test_wrap_masks_to_32_bits():
+    assert wrap(0) == 0
+    assert wrap(SEQ_SPACE) == 0
+    assert wrap(SEQ_SPACE + 5) == 5
+    assert wrap(3 * SEQ_SPACE + 7) == 7
+
+
+def test_unwrap_identity_near_reference():
+    assert unwrap(100, 90) == 100
+    assert unwrap(100, 110) == 100
+
+
+def test_unwrap_across_wraparound_forward():
+    # Reference just below the wrap boundary; wire value just past it.
+    reference = SEQ_SPACE - 10
+    assert unwrap(5, reference) == SEQ_SPACE + 5
+
+
+def test_unwrap_across_wraparound_backward():
+    # Reference just past an epoch boundary; wire value just below it.
+    reference = SEQ_SPACE + 3
+    assert unwrap(SEQ_SPACE - 4, reference) == SEQ_SPACE - 4
+
+
+def test_unwrap_multi_epoch_reference():
+    reference = 5 * SEQ_SPACE + 1000
+    assert unwrap(1500, reference) == 5 * SEQ_SPACE + 1500
+    assert unwrap(wrap(reference - 2000), reference) == reference - 2000
+
+
+def test_unwrap_validates_wire_range():
+    with pytest.raises(ValueError):
+        unwrap(-1, 0)
+    with pytest.raises(ValueError):
+        unwrap(SEQ_SPACE, 0)
+
+
+def test_wrapped_comparisons():
+    assert seq_lt(1, 2)
+    assert seq_gt(2, 1)
+    assert seq_le(2, 2)
+    assert seq_ge(2, 2)
+    # Across the wrap point: 2^32-1 < 5 in sequence space.
+    assert seq_lt(SEQ_SPACE - 1, 5)
+    assert seq_gt(5, SEQ_SPACE - 1)
+
+
+@given(st.integers(0, 1 << 40), st.integers(-(1 << 30), 1 << 30))
+def test_prop_unwrap_recovers_value_within_half_space(reference, delta):
+    """wrap→unwrap is the identity whenever the true value is within
+    ±2³¹ of the reference (TCP's validity window)."""
+    true_value = reference + delta
+    if true_value < 0:
+        return
+    assert unwrap(wrap(true_value), reference) == true_value
+
+
+@given(st.integers(0, (1 << 32) - 1), st.integers(0, (1 << 32) - 1))
+def test_prop_seq_lt_antisymmetric(a, b):
+    if a != b:
+        assert seq_lt(a, b) != seq_lt(b, a)
+    else:
+        assert not seq_lt(a, b)

@@ -1,0 +1,157 @@
+"""Socket API semantics: event contracts of send/recv/close."""
+
+import pytest
+
+from repro.errors import ConnectionClosed, ConnectionReset
+from repro.sim.simulator import Simulator
+from repro.tcp.config import TCPConfig
+from repro.util.bytespan import PatternBytes
+from repro.util.units import KB
+
+from tests.conftest import LanPair
+
+
+def connected_pair(lan, port=8000):
+    """Establish a connection; returns (client_sock, server_conn)."""
+    result = {}
+
+    def server():
+        listener = lan.b.tcp.listen(port)
+        conn = yield listener.accept()
+        result["server"] = conn
+        yield lan.sim.timeout(3600.0)  # hold open
+
+    def client():
+        sock = lan.a.tcp.connect((lan.ip_b, port))
+        yield sock.wait_connected()
+        result["client"] = sock
+
+    lan.b.spawn(server())
+    process = lan.a.spawn(client())
+    lan.sim.run_until_complete(process, deadline=10.0)
+    lan.sim.run(until=lan.sim.now + 0.01)
+    return result["client"], result["server"]
+
+
+def test_wait_connected_after_establishment_succeeds_immediately():
+    lan = LanPair(Simulator(seed=150))
+    client, _server = connected_pair(lan)
+    event = client.wait_connected()
+    assert event.triggered
+    assert event.value is client
+
+
+def test_recv_zero_bytes_succeeds_empty():
+    lan = LanPair(Simulator(seed=151))
+    client, _server = connected_pair(lan)
+    event = client.recv(0)
+    assert event.triggered
+    assert len(event.value) == 0
+
+
+def test_send_event_reports_total_bytes():
+    lan = LanPair(Simulator(seed=152))
+    client, server = connected_pair(lan)
+    outcome = {}
+
+    def sender():
+        count = yield client.send(PatternBytes(5 * KB, 0, 2))
+        outcome["count"] = count
+
+    process = lan.a.spawn(sender())
+    lan.sim.run_until_complete(process, deadline=10.0)
+    assert outcome["count"] == 5 * KB
+
+
+def test_send_on_closed_socket_fails_event():
+    from repro.errors import ConnectionError_
+
+    lan = LanPair(Simulator(seed=153))
+    client, _server = connected_pair(lan)
+    client.abort()
+    event = client.send(b"too late")
+    assert event.triggered
+    with pytest.raises(ConnectionError_):  # reset (abort) or closed
+        _ = event.value
+
+
+def test_pending_send_fails_on_reset():
+    """A send blocked on buffer space fails when the peer resets."""
+    config = TCPConfig(snd_buffer=2 * KB, rcv_buffer=2 * KB)
+    lan = LanPair(Simulator(seed=154), tcp_config=config)
+    client, server = connected_pair(lan)
+    outcome = {}
+
+    def sender():
+        try:
+            # Far larger than buffers+window while the peer never reads.
+            yield client.send(PatternBytes(64 * KB, 0, 2))
+        except ConnectionReset:
+            outcome["error"] = "reset"
+
+    process = lan.a.spawn(sender())
+    lan.sim.run(until=lan.sim.now + 0.2)
+    server.abort()
+    lan.sim.run_until_complete(process, deadline=30.0)
+    assert outcome["error"] == "reset"
+
+
+def test_partial_recv_returns_available_data():
+    lan = LanPair(Simulator(seed=155))
+    client, server = connected_pair(lan)
+    outcome = {}
+
+    def exchange():
+        yield server.send(b"abc")
+        data = yield client.recv(100)  # more than available
+        outcome["data"] = data.to_bytes()
+
+    process = lan.a.spawn(exchange())
+    lan.sim.run_until_complete(process, deadline=10.0)
+    assert outcome["data"] == b"abc"
+
+
+def test_recv_returns_empty_at_eof():
+    lan = LanPair(Simulator(seed=156))
+    client, server = connected_pair(lan)
+    outcome = {}
+
+    def run():
+        server.close()
+        data = yield client.recv(100)
+        outcome["eof"] = len(data) == 0
+
+    process = lan.a.spawn(run())
+    lan.sim.run_until_complete(process, deadline=10.0)
+    assert outcome["eof"]
+
+
+def test_queued_recvs_complete_in_order():
+    lan = LanPair(Simulator(seed=157))
+    client, server = connected_pair(lan)
+    outcome = {}
+
+    def reader():
+        first = client.recv_exactly(3)
+        second = client.recv_exactly(3)
+        a = yield first
+        b = yield second
+        outcome["parts"] = (a.to_bytes(), b.to_bytes())
+
+    process = lan.a.spawn(reader())
+    lan.sim.run(until=lan.sim.now + 0.01)
+
+    def writer():
+        yield server.send(b"abcdef")
+
+    lan.b.spawn(writer())
+    lan.sim.run_until_complete(process, deadline=10.0)
+    assert outcome["parts"] == (b"abc", b"def")
+
+
+def test_addresses_exposed():
+    lan = LanPair(Simulator(seed=158))
+    client, server = connected_pair(lan)
+    assert client.remote_address == (lan.ip_b, 8000)
+    assert server.local_address == (lan.ip_b, 8000)
+    assert server.remote_address[0] == lan.ip_a

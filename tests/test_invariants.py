@@ -1,0 +1,137 @@
+"""System-level property tests: the invariants the whole design rests on.
+
+* Whatever frames the network loses, a TCP stream delivers exactly the
+  bytes that were sent, in order.
+* Whenever the primary crashes, an ST-TCP client still completes its run
+  with every byte verified — the transparency claim, quantified over
+  random crash times.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.workload import bulk_workload, echo_workload, upload_workload
+from repro.harness.calibrate import FAST_LAN
+from repro.harness.runner import run_workload
+from repro.harness.scenario import Scenario
+from repro.net.loss import RandomLoss
+from repro.sim.simulator import Simulator
+from repro.sttcp.config import STTCPConfig
+from repro.util.bytespan import PatternBytes
+from repro.util.units import KB
+
+from tests.conftest import LanPair
+
+SLOW_PROPERTY = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@SLOW_PROPERTY
+@given(
+    size=st.integers(1, 60 * KB),
+    loss_rate=st.floats(0.0, 0.08),
+    seed=st.integers(0, 2**16),
+)
+def test_prop_tcp_delivers_exact_stream_under_loss(size, loss_rate, seed):
+    """Any payload size, any (survivable) random loss: the receiver reads
+    exactly the sent byte stream."""
+    sim = Simulator(seed=seed)
+    lan = LanPair(sim)
+    lan.hub.loss_model = RandomLoss(sim.random.stream("loss"), loss_rate)
+    outcome = {}
+
+    def server():
+        listener = lan.b.tcp.listen(8000)
+        conn = yield listener.accept()
+        yield conn.send(PatternBytes(size, 0, 5))
+        conn.close()
+
+    def client():
+        sock = lan.a.tcp.connect((lan.ip_b, 8000))
+        yield sock.wait_connected()
+        data = yield sock.recv_exactly(size)
+        outcome["ok"] = data == PatternBytes(size, 0, 5)
+        sock.close()
+
+    lan.b.spawn(server())
+    process = lan.a.spawn(client())
+    sim.run_until_complete(process, deadline=3600.0)
+    assert outcome["ok"]
+
+
+@SLOW_PROPERTY
+@given(
+    crash_fraction=st.floats(0.01, 0.99),
+    seed=st.integers(0, 2**16),
+)
+def test_prop_sttcp_transparent_for_any_crash_time_bulk(crash_fraction, seed):
+    """The primary may die at *any* point of a bulk download; the client
+    finishes with verified content."""
+    workload = bulk_workload(128 * KB)
+    config = STTCPConfig(hb_interval=0.05)
+    baseline = run_workload(
+        workload, profile=FAST_LAN, sttcp=config, seed=seed, deadline=600.0
+    ).require_clean()
+    scenario = Scenario(profile=FAST_LAN, sttcp=config, seed=seed)
+    crash_at = 0.1 + crash_fraction * baseline.total_time
+    run = run_workload(workload, scenario=scenario, crash_at=crash_at, deadline=600.0)
+    assert run.result.error is None
+    assert run.result.verified
+
+
+@SLOW_PROPERTY
+@given(
+    crash_fraction=st.floats(0.01, 0.99),
+    seed=st.integers(0, 2**16),
+)
+def test_prop_sttcp_transparent_for_any_crash_time_upload(crash_fraction, seed):
+    """Same invariant for the upload direction, which exercises the
+    second-buffer and UDP-ack machinery."""
+    workload = upload_workload(128 * KB)
+    config = STTCPConfig(hb_interval=0.05)
+    baseline = run_workload(
+        workload, profile=FAST_LAN, sttcp=config, seed=seed, deadline=600.0
+    ).require_clean()
+    scenario = Scenario(profile=FAST_LAN, sttcp=config, seed=seed)
+    crash_at = 0.1 + crash_fraction * baseline.total_time
+    run = run_workload(workload, scenario=scenario, crash_at=crash_at, deadline=600.0)
+    assert run.result.error is None
+    assert run.result.verified
+
+
+@SLOW_PROPERTY
+@given(
+    crash_fraction=st.floats(0.01, 0.99),
+    tap_loss=st.floats(0.0, 0.05),
+    seed=st.integers(0, 2**16),
+)
+def test_prop_sttcp_transparent_with_lossy_tap_and_crash(crash_fraction, tap_loss, seed):
+    """Crash at any time *and* a lossy tap.
+
+    A frame lost on the tap in the instant before the crash is a genuine
+    *double failure* — the dead primary can no longer repair it — so full
+    transparency under this fault model requires the packet logger
+    (§3.2).  (Hypothesis found exactly that race when this property was
+    first written without the logger.)
+    """
+    from repro.faults.injection import add_tap_loss
+
+    workload = echo_workload(30)
+    config = STTCPConfig(
+        hb_interval=0.05, retx_request_timeout=0.01, use_logger=True
+    )
+    baseline = run_workload(
+        workload, profile=FAST_LAN, sttcp=config, seed=seed, deadline=600.0
+    ).require_clean()
+    scenario = Scenario(profile=FAST_LAN, sttcp=config, with_logger=True, seed=seed)
+    add_tap_loss(
+        scenario.backup.nics[0], scenario.sim.random.stream("tap"), tap_loss
+    )
+    crash_at = 0.1 + crash_fraction * baseline.total_time
+    run = run_workload(workload, scenario=scenario, crash_at=crash_at, deadline=600.0)
+    assert run.result.error is None
+    assert run.result.verified

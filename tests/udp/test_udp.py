@@ -1,0 +1,118 @@
+"""Tests for UDP sockets and the port table."""
+
+import pytest
+
+from repro.errors import ConnectionClosed, PortInUseError
+from repro.sim.simulator import Simulator
+from repro.udp.datagram import UDPDatagram
+from repro.udp.layer import EPHEMERAL_PORT_START
+
+from tests.conftest import LanPair
+
+
+@pytest.fixture
+def lan():
+    return LanPair(Simulator(seed=21))
+
+
+def test_datagram_validation():
+    with pytest.raises(ValueError):
+        UDPDatagram(0, 80, b"", 0)
+    with pytest.raises(ValueError):
+        UDPDatagram(80, 70000, b"", 0)
+    with pytest.raises(ValueError):
+        UDPDatagram(80, 81, b"", -1)
+
+
+def test_datagram_size_includes_header():
+    assert UDPDatagram(1000, 2000, b"x", 10).size == 18
+
+
+def test_port_conflict_rejected(lan):
+    lan.a.udp.socket(5000)
+    with pytest.raises(PortInUseError):
+        lan.a.udp.socket(5000)
+
+
+def test_ephemeral_allocation(lan):
+    first = lan.a.udp.socket()
+    second = lan.a.udp.socket()
+    assert first.port >= EPHEMERAL_PORT_START
+    assert first.port != second.port
+
+
+def test_port_reusable_after_close(lan):
+    sock = lan.a.udp.socket(5000)
+    sock.close()
+    lan.a.udp.socket(5000)  # must not raise
+
+
+def test_coroutine_recv(lan):
+    sock_b = lan.b.udp.socket(5000)
+    outcome = {}
+
+    def receiver():
+        payload, addr = yield sock_b.recv()
+        outcome["payload"] = payload.to_bytes()
+        outcome["port"] = addr[1]
+
+    process = lan.b.spawn(receiver())
+    sender = lan.a.udp.socket(6000)
+    sender.send_to((lan.ip_b, 5000), b"hello")
+    lan.sim.run_until_complete(process, deadline=2.0)
+    assert outcome == {"payload": b"hello", "port": 6000}
+
+
+def test_recv_queues_when_no_waiter(lan):
+    sock_b = lan.b.udp.socket(5000)
+    sender = lan.a.udp.socket(6000)
+    sender.send_to((lan.ip_b, 5000), b"one")
+    sender.send_to((lan.ip_b, 5000), b"two")
+    lan.sim.run(until=1.0)
+    got = []
+
+    def receiver():
+        for _ in range(2):
+            payload, _addr = yield sock_b.recv()
+            got.append(payload.to_bytes())
+
+    process = lan.b.spawn(receiver())
+    lan.sim.run_until_complete(process, deadline=2.0)
+    assert got == [b"one", b"two"]
+
+
+def test_send_on_closed_socket_raises(lan):
+    sock = lan.a.udp.socket(5000)
+    sock.close()
+    with pytest.raises(ConnectionClosed):
+        sock.send_to((lan.ip_b, 5000), b"x")
+
+
+def test_close_fails_pending_recv(lan):
+    sock = lan.b.udp.socket(5000)
+    event = sock.recv()
+    sock.close()
+    assert event.triggered
+    with pytest.raises(ConnectionClosed):
+        _ = event.value
+
+
+def test_unbound_port_drops(lan):
+    sender = lan.a.udp.socket(6000)
+    sender.send_to((lan.ip_b, 4242), b"nobody")
+    lan.sim.run(until=1.0)
+    assert lan.b.udp.dropped_no_port == 1
+
+
+def test_protocol_object_payload_with_explicit_size(lan):
+    class Message:
+        pass
+
+    received = []
+    sock_b = lan.b.udp.socket(5000)
+    sock_b.on_datagram = lambda payload, addr: received.append(payload)
+    sender = lan.a.udp.socket(6000)
+    message = Message()
+    sender.send_to((lan.ip_b, 5000), message, payload_size=82)
+    lan.sim.run(until=1.0)
+    assert received == [message]

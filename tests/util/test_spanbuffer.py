@@ -1,0 +1,130 @@
+"""Tests and property checks for the FIFO span buffer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bytespan import PatternBytes, RealBytes
+from repro.util.spanbuffer import SpanBuffer
+
+
+def test_empty_buffer():
+    buffer = SpanBuffer()
+    assert len(buffer) == 0
+    assert buffer.head_offset == 0
+    assert buffer.tail_offset == 0
+    assert buffer.pop_front(10).to_bytes() == b""
+
+
+def test_append_and_pop_roundtrip():
+    buffer = SpanBuffer()
+    buffer.append(b"hello ")
+    buffer.append(b"world")
+    assert len(buffer) == 11
+    assert buffer.pop_front(11).to_bytes() == b"hello world"
+    assert buffer.head_offset == 11
+
+
+def test_pop_crosses_piece_boundaries():
+    buffer = SpanBuffer()
+    buffer.append(b"abc")
+    buffer.append(b"def")
+    assert buffer.pop_front(4).to_bytes() == b"abcd"
+    assert buffer.pop_front(10).to_bytes() == b"ef"
+
+
+def test_pop_clamps_to_length():
+    buffer = SpanBuffer()
+    buffer.append(b"xy")
+    assert buffer.pop_front(100).to_bytes() == b"xy"
+
+
+def test_discard_front():
+    buffer = SpanBuffer()
+    buffer.append(b"abcdef")
+    buffer.discard_front(4)
+    assert buffer.head_offset == 4
+    assert buffer.pop_front(2).to_bytes() == b"ef"
+
+
+def test_peek_absolute_window():
+    buffer = SpanBuffer()
+    buffer.append(b"0123456789")
+    buffer.discard_front(3)  # head now at 3
+    assert buffer.peek_absolute(4, 8).to_bytes() == b"4567"
+    assert buffer.peek_absolute(3, 3).to_bytes() == b""
+
+
+def test_peek_absolute_out_of_range():
+    buffer = SpanBuffer()
+    buffer.append(b"abcd")
+    buffer.discard_front(2)
+    with pytest.raises(IndexError):
+        buffer.peek_absolute(0, 3)  # below head
+    with pytest.raises(IndexError):
+        buffer.peek_absolute(2, 5)  # beyond tail
+
+
+def test_peek_front():
+    buffer = SpanBuffer()
+    buffer.append(b"abcdef")
+    assert buffer.peek_front(3).to_bytes() == b"abc"
+    assert len(buffer) == 6  # peek does not consume
+
+
+def test_offsets_survive_pattern_spans():
+    buffer = SpanBuffer()
+    buffer.append(PatternBytes(1000, offset=0, pattern_id=2))
+    buffer.discard_front(400)
+    view = buffer.peek_absolute(400, 500)
+    assert view.to_bytes() == PatternBytes(100, offset=400, pattern_id=2).to_bytes()
+
+
+def test_clear_advances_head():
+    buffer = SpanBuffer()
+    buffer.append(b"abcdef")
+    buffer.clear()
+    assert len(buffer) == 0
+    assert buffer.head_offset == 6
+
+
+def test_empty_append_ignored():
+    buffer = SpanBuffer()
+    buffer.append(b"")
+    assert len(buffer) == 0
+
+
+@given(st.lists(st.binary(min_size=1, max_size=20), max_size=20), st.data())
+def test_prop_buffer_behaves_like_bytestring(pieces, data):
+    """The buffer must behave exactly like a byte string with a moving
+    head: pops return prefixes, offsets track total consumption."""
+    buffer = SpanBuffer()
+    reference = b""
+    consumed = 0
+    for piece in pieces:
+        buffer.append(RealBytes(piece))
+        reference += piece
+        if data.draw(st.booleans()):
+            count = data.draw(st.integers(0, len(reference) + 2))
+            popped = buffer.pop_front(count).to_bytes()
+            expected = reference[:count]
+            assert popped == expected
+            reference = reference[len(expected):]
+            consumed += len(expected)
+        assert len(buffer) == len(reference)
+        assert buffer.head_offset == consumed
+        assert buffer.tail_offset == consumed + len(reference)
+
+
+@given(
+    st.lists(st.binary(min_size=1, max_size=30), min_size=1, max_size=10),
+    st.integers(0, 100),
+    st.integers(0, 100),
+)
+def test_prop_peek_absolute_matches_reference(pieces, a, b):
+    buffer = SpanBuffer()
+    reference = b"".join(pieces)
+    for piece in pieces:
+        buffer.append(piece)
+    lo, hi = sorted((min(a, len(reference)), min(b, len(reference))))
+    assert buffer.peek_absolute(lo, hi).to_bytes() == reference[lo:hi]

@@ -1,0 +1,57 @@
+"""Tests for unit helpers."""
+
+import pytest
+
+from repro.util.units import (
+    GB,
+    KB,
+    MB,
+    fmt_bytes,
+    fmt_time,
+    gbps,
+    kbps,
+    mbps,
+    ms,
+    transmission_time,
+    us,
+)
+
+
+def test_size_constants():
+    assert KB == 1024
+    assert MB == 1024 * KB
+    assert GB == 1024 * MB
+
+
+def test_rate_conversions():
+    assert kbps(1) == 1_000
+    assert mbps(100) == 100_000_000
+    assert gbps(1) == 1_000_000_000
+
+
+def test_time_conversions():
+    assert ms(250) == 0.25
+    assert us(50) == pytest.approx(50e-6)
+
+
+def test_transmission_time():
+    # 1500 bytes at 100 Mb/s = 120 microseconds.
+    assert transmission_time(1500, mbps(100)) == pytest.approx(120e-6)
+
+
+def test_transmission_time_rejects_bad_rate():
+    with pytest.raises(ValueError):
+        transmission_time(100, 0)
+
+
+def test_fmt_bytes():
+    assert fmt_bytes(512) == "512 B"
+    assert fmt_bytes(2 * KB) == "2 KB"
+    assert fmt_bytes(5 * MB) == "5 MB"
+    assert fmt_bytes(3 * GB) == "3 GB"
+
+
+def test_fmt_time():
+    assert fmt_time(2.5) == "2.5 s"
+    assert fmt_time(0.150) == "150 ms"
+    assert fmt_time(42e-6) == "42 us"
