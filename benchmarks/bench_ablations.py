@@ -9,8 +9,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.harness.experiments import (
     ablation_detection,
     ablation_ftcp,
@@ -24,13 +22,14 @@ from repro.util.units import KB
 from benchmarks.conftest import run_once
 
 
-def test_ablation_sync_strategy(benchmark):
+def test_ablation_sync_strategy(benchmark, store):
     records = run_once(
         benchmark,
         lambda: ablation_sync(
             upload_size=512 * KB,
             sync_times=(0.05, 1.0),
             x_fractions=(0.25, 0.75, 1.0),
+            store=store,
         ),
     )
     print()
@@ -50,10 +49,10 @@ def test_ablation_sync_strategy(benchmark):
     )
 
 
-def test_ablation_ftcp_comparison(benchmark):
+def test_ablation_ftcp_comparison(benchmark, store):
     records = run_once(
         benchmark,
-        lambda: ablation_ftcp(bulk_size=256 * KB, crash_fractions=(0.25, 0.75)),
+        lambda: ablation_ftcp(bulk_size=256 * KB, crash_fractions=(0.25, 0.75), store=store),
     )
     print()
     print(
@@ -71,8 +70,8 @@ def test_ablation_ftcp_comparison(benchmark):
     assert (ft[0.75] - st[0.75]) > (ft[0.25] - st[0.25])
 
 
-def test_ablation_logger_double_failure(benchmark):
-    records = run_once(benchmark, ablation_logger)
+def test_ablation_logger_double_failure(benchmark, store):
+    records = run_once(benchmark, lambda: ablation_logger(store=store))
     print()
     print(
         format_table(
@@ -87,10 +86,10 @@ def test_ablation_logger_double_failure(benchmark):
     assert not by_logger[False]["completed"]
 
 
-def test_ablation_channel_overhead(benchmark):
+def test_ablation_channel_overhead(benchmark, store):
     records = run_once(
         benchmark,
-        lambda: ablation_overhead(upload_size=512 * KB, second_buffers=(4 * KB, 16 * KB, 32 * KB)),
+        lambda: ablation_overhead(upload_size=512 * KB, second_buffers=(4 * KB, 16 * KB, 32 * KB), store=store),
     )
     print()
     print(
@@ -107,9 +106,9 @@ def test_ablation_channel_overhead(benchmark):
     assert 3.0 < records[0]["overhead_percent"] < 9.0
 
 
-def test_ablation_detection_threshold(benchmark):
+def test_ablation_detection_threshold(benchmark, store):
     records = run_once(
-        benchmark, lambda: ablation_detection(thresholds=(1, 2, 3, 5))
+        benchmark, lambda: ablation_detection(thresholds=(1, 2, 3, 5), store=store)
     )
     print()
     print(

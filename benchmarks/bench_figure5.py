@@ -18,9 +18,10 @@ QUICK_SWEEP = (0.05, 0.2, 0.5, 1.0)
 
 
 @pytest.mark.parametrize("application", ["echo", "interactive"], ids=["5a", "5b"])
-def test_figure5(benchmark, scale, application):
+def test_figure5(benchmark, scale, store, application):
     points = run_once(
-        benchmark, lambda: figure5(application, scale, hb_sweep=QUICK_SWEEP)
+        benchmark,
+        lambda: figure5(application, scale, hb_sweep=QUICK_SWEEP, store=store),
     )
     print()
     print(format_figure5(points, application))

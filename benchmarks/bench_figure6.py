@@ -12,8 +12,10 @@ from repro.harness.experiments import figure6, format_figure6
 from benchmarks.conftest import run_once
 
 
-def test_figure6(benchmark, scale):
-    points = run_once(benchmark, lambda: figure6(scale, hb_grid=(0.05, 0.2)))
+def test_figure6(benchmark, scale, store):
+    points = run_once(
+        benchmark, lambda: figure6(scale, hb_grid=(0.05, 0.2), store=store)
+    )
     print()
     print(format_figure6(points))
     by_hb = {}

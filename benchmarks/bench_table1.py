@@ -19,9 +19,9 @@ from repro.util.units import MB
 from benchmarks.conftest import run_once
 
 
-def test_table1_full(benchmark, scale):
+def test_table1_full(benchmark, scale, store):
     """The whole table, printed in the paper's layout."""
-    records = run_once(benchmark, lambda: table1(scale))
+    records = run_once(benchmark, lambda: table1(scale, store=store))
     print()
     print(format_table1(records))
     standard = records[0]

@@ -18,8 +18,8 @@ from repro.util.units import KB
 from benchmarks.conftest import run_once
 
 
-def test_table2_full(benchmark, scale):
-    records = run_once(benchmark, lambda: table2(scale))
+def test_table2_full(benchmark, scale, store):
+    records = run_once(benchmark, lambda: table2(scale, store=store))
     print()
     print(format_table2(records))
     # Monotonic in the heartbeat interval for every workload column.

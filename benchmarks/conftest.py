@@ -11,11 +11,29 @@ from __future__ import annotations
 import pytest
 
 from repro.harness.experiments import default_scale
+from repro.harness.results import ResultStore
 
 
 @pytest.fixture(scope="session")
 def scale():
     return default_scale()
+
+
+@pytest.fixture(scope="session")
+def store(tmp_path_factory):
+    """One result store for the whole benchmark session.
+
+    Grid benchmarks write through it, so a cell shared between two
+    benchmarks executes once; rerunning against a kept store resumes
+    instead of recomputing (point it somewhere stable via REPRO_STORE
+    to benefit across sessions).
+    """
+    import os
+
+    path = os.environ.get("REPRO_STORE")
+    if path is None:
+        path = tmp_path_factory.mktemp("results") / "results.jsonl"
+    return ResultStore(path)
 
 
 def run_once(benchmark, fn):

@@ -5,7 +5,12 @@ By default runs a reduced grid (~1 minute).  For the paper's full grid —
 bulk transfers up to 100 MB, heartbeats up to 5 s, three repetitions —
 set ``REPRO_PAPER_SCALE=1`` (expect several minutes of wall clock).
 
-Run:  python examples/paper_tables.py [--quick]
+Tables are read out of the resumable result store (``results/results.jsonl``
+unless ``$REPRO_STORE`` points elsewhere): cells already in the store are
+not recomputed, so a second invocation is instant and an interrupted full
+grid resumes where it stopped.  ``--jobs N`` runs cells on N processes.
+
+Run:  python examples/paper_tables.py [--quick] [--jobs N]
 """
 
 import sys
@@ -23,25 +28,31 @@ from repro.harness.experiments import (
     table2,
     QUICK_SCALE,
 )
+from repro.harness.results import ResultStore, default_store_path
 
 
 def main() -> None:
     scale = QUICK_SCALE if "--quick" in sys.argv else default_scale()
+    jobs = 1
+    if "--jobs" in sys.argv:
+        jobs = int(sys.argv[sys.argv.index("--jobs") + 1])
+    store = ResultStore(default_store_path())
     print(f"scale: echo×{scale.echo_exchanges}, interactive×{scale.interactive_exchanges}, "
           f"bulk {[s // 1024 for s in scale.bulk_sizes]} KB, "
-          f"HB grid {list(scale.hb_grid)}, {scale.repeats} repeat(s)\n")
+          f"HB grid {list(scale.hb_grid)}, {scale.repeats} repeat(s)")
+    print(f"store: {store.path} ({len(store)} cached cells), jobs={jobs}\n")
 
     start = time.time()
-    print(format_table1(table1(scale)))
+    print(format_table1(table1(scale, jobs=jobs, store=store)))
     print()
-    print(format_table2(table2(scale)))
+    print(format_table2(table2(scale, jobs=jobs, store=store)))
     print()
     sweep = (0.05, 0.2, 1.0) if scale is QUICK_SCALE else (0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0)
-    print(format_figure5(figure5("echo", scale, hb_sweep=sweep), "echo"))
+    print(format_figure5(figure5("echo", scale, hb_sweep=sweep, jobs=jobs, store=store), "echo"))
     print()
-    print(format_figure5(figure5("interactive", scale, hb_sweep=sweep), "interactive"))
+    print(format_figure5(figure5("interactive", scale, hb_sweep=sweep, jobs=jobs, store=store), "interactive"))
     print()
-    print(format_figure6(figure6(scale, hb_grid=scale.hb_grid[-2:])))
+    print(format_figure6(figure6(scale, hb_grid=scale.hb_grid[-2:], jobs=jobs, store=store)))
     print(f"\n(wall clock: {time.time() - start:.1f} s)")
 
 

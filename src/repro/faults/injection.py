@@ -7,7 +7,7 @@ backup's tapped frames", "partition the UDP channel".
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
+from typing import Any, List
 
 from repro.net.frame import ETHERTYPE_IPV4, EthernetFrame
 from repro.net.loss import RandomLoss, ScriptedLoss, WindowLoss

@@ -9,6 +9,11 @@ Subcommands regenerate the paper's artefacts and the ablations::
     python -m repro ablations --csv out.csv
     python -m repro demo                   # one narrated failover run
 
+Execution: ``--jobs N`` fans cells out over N worker processes (results
+are bit-identical to ``--jobs 1``).  Completed cells are cached in the
+result store (``results/results.jsonl`` by default; ``--store PATH`` to
+relocate, ``--no-store`` to disable) and skipped on re-runs.
+
 Exports: ``--json PATH`` / ``--csv PATH`` write the raw records.
 """
 
@@ -17,26 +22,19 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
+from repro.harness.executor import ExperimentResult, run_experiment
 from repro.harness.experiments import (
     PAPER_SCALE,
-    ablation_detection,
     QUICK_SCALE,
-    ablation_ftcp,
-    ablation_logger,
-    ablation_overhead,
-    ablation_sync,
     default_scale,
-    figure5,
-    figure6,
     format_figure5,
     format_figure6,
     format_table1,
     format_table2,
-    table1,
-    table2,
 )
+from repro.harness.results import ResultStore, default_store_path
 from repro.harness.tables import format_table, rows_from_records
 from repro.metrics.report import records_to_csv, records_to_json
 
@@ -49,6 +47,24 @@ def _scale_from_args(args: argparse.Namespace):
     return default_scale()
 
 
+def _store_from_args(args: argparse.Namespace) -> Optional[ResultStore]:
+    if getattr(args, "no_store", False):
+        return None
+    path = getattr(args, "store", None) or default_store_path()
+    return ResultStore(path)
+
+
+def _run(name: str, args: argparse.Namespace, **options: Any) -> ExperimentResult:
+    result = run_experiment(
+        name,
+        jobs=getattr(args, "jobs", 1),
+        store=_store_from_args(args),
+        **options,
+    )
+    print(result.grid.summary(), file=sys.stderr)
+    return result
+
+
 def _export(records: List[Dict[str, Any]], args: argparse.Namespace) -> None:
     if getattr(args, "json", None):
         path = records_to_json(records, args.json)
@@ -59,31 +75,53 @@ def _export(records: List[Dict[str, Any]], args: argparse.Namespace) -> None:
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
-    records = table1(_scale_from_args(args), topology=args.topology, base_seed=args.seed)
+    records = _run(
+        "table1",
+        args,
+        scale=_scale_from_args(args),
+        topology=args.topology,
+        base_seed=args.seed,
+    ).rows
     print(format_table1(records))
     _export(records, args)
     return 0
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
-    records = table2(_scale_from_args(args), topology=args.topology, base_seed=args.seed)
+    records = _run(
+        "table2",
+        args,
+        scale=_scale_from_args(args),
+        topology=args.topology,
+        base_seed=args.seed,
+    ).rows
     print(format_table2(records))
     _export(records, args)
     return 0
 
 
 def _cmd_figure5(args: argparse.Namespace) -> int:
-    points = figure5(
-        args.app, _scale_from_args(args), topology=args.topology, base_seed=args.seed
-    )
+    points = _run(
+        "figure5",
+        args,
+        scale=_scale_from_args(args),
+        application=args.app,
+        topology=args.topology,
+        base_seed=args.seed,
+    ).rows
     print(format_figure5(points, args.app))
     _export(points, args)
     return 0
 
 
 def _cmd_figure6(args: argparse.Namespace) -> int:
-    scale = _scale_from_args(args)
-    points = figure6(scale, topology=args.topology, base_seed=args.seed)
+    points = _run(
+        "figure6",
+        args,
+        scale=_scale_from_args(args),
+        topology=args.topology,
+        base_seed=args.seed,
+    ).rows
     print(format_figure6(points))
     _export(points, args)
     return 0
@@ -92,14 +130,14 @@ def _cmd_figure6(args: argparse.Namespace) -> int:
 def _cmd_ablations(args: argparse.Namespace) -> int:
     all_records: List[Dict[str, Any]] = []
     sections: List[tuple] = [
-        ("A1 sync strategy", ablation_sync, ["sync_time", "x_fraction", "total_time", "acks_sent", "retention_peak", "overflow_peak"]),
-        ("A2 vs FT-TCP", ablation_ftcp, ["protocol", "crash_fraction", "failover_time", "detection_latency"]),
-        ("A3 logger double-failure", ablation_logger, ["logger", "completed", "verified", "logger_bytes_recovered"]),
-        ("A4 channel overhead", ablation_overhead, ["second_buffer", "x_bytes", "acks_sent", "overhead_percent"]),
-        ("A5 detection threshold", ablation_detection, ["threshold", "wrong_suspicion", "service_ok_after", "detection_latency"]),
+        ("A1 sync strategy", "ablation_sync", ["sync_time", "x_fraction", "total_time", "acks_sent", "retention_peak", "overflow_peak"]),
+        ("A2 vs FT-TCP", "ablation_ftcp", ["protocol", "crash_fraction", "failover_time", "detection_latency"]),
+        ("A3 logger double-failure", "ablation_logger", ["logger", "completed", "verified", "logger_bytes_recovered"]),
+        ("A4 channel overhead", "ablation_overhead", ["second_buffer", "x_bytes", "acks_sent", "overhead_percent"]),
+        ("A5 detection threshold", "ablation_detection", ["threshold", "wrong_suspicion", "service_ok_after", "detection_latency"]),
     ]
-    for title, fn, columns in sections:
-        records = fn()
+    for title, name, columns in sections:
+        records = _run(name, args).rows
         print(format_table(columns, rows_from_records(records, columns), title=title))
         print()
         for record in records:
@@ -171,6 +209,23 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--quick", action="store_true", help="force the quick grid")
         p.add_argument("--topology", choices=["hub", "switched"], default="hub")
         p.add_argument("--seed", type=int, default=100)
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="run cells on N worker processes (results identical to N=1)",
+        )
+        p.add_argument(
+            "--store",
+            metavar="PATH",
+            help="result store path (default results/results.jsonl, or $REPRO_STORE)",
+        )
+        p.add_argument(
+            "--no-store",
+            action="store_true",
+            help="do not read or write the result store",
+        )
         p.add_argument("--json", metavar="PATH", help="export records as JSON")
         p.add_argument("--csv", metavar="PATH", help="export records as CSV")
 

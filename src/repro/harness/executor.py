@@ -1,0 +1,167 @@
+"""Execution engine for experiment grids: serial or process-parallel.
+
+The engine takes a spec's cell list and produces one record per cell,
+in cell order, regardless of backend:
+
+* ``jobs=1`` runs cells in-process;
+* ``jobs>1`` fans cells out over a :class:`ProcessPoolExecutor`.  Each
+  worker rebuilds the scenario from the cell's params and seed, so a
+  parallel run is **bit-identical** to a serial one — simulations are
+  deterministic and share no state.
+
+With a :class:`~repro.harness.results.ResultStore`, cells whose content
+key is already stored are *skipped* and their records read back, making
+grids resumable; freshly executed cells are appended as they finish
+(with perf telemetry from :mod:`repro.metrics.perf`), so an interrupted
+grid loses at most its in-flight cells.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.harness.results import ResultStore, cell_key
+from repro.harness.spec import ExperimentSpec, GridCell, Record, get_spec
+from repro.metrics import perf
+
+
+@dataclasses.dataclass
+class GridResult:
+    """Records (in cell order) plus execution accounting for one grid."""
+
+    records: List[Record]
+    telemetry: List[Optional[Dict[str, Any]]]
+    executed: int
+    cached: int
+    jobs: int
+    wall_time: float
+    #: Indices into ``records`` of cells executed by *this* run (the rest
+    #: were read back from the store with their original telemetry).
+    executed_indices: List[int] = dataclasses.field(default_factory=list)
+
+    def _executed_telemetry(self) -> List[Dict[str, Any]]:
+        return [t for i in self.executed_indices if (t := self.telemetry[i])]
+
+    @property
+    def events(self) -> int:
+        return sum(int(t["events"]) for t in self._executed_telemetry())
+
+    @property
+    def sim_seconds(self) -> float:
+        return sum(float(t["sim_seconds"]) for t in self._executed_telemetry())
+
+    def summary(self) -> str:
+        total = self.executed + self.cached
+        line = (
+            f"{total} cells: {self.executed} executed, {self.cached} cached "
+            f"(jobs={self.jobs}, {self.wall_time:.1f}s wall)"
+        )
+        if self.executed and self.wall_time > 0:
+            line += (
+                f"; {self.events} events, {self.sim_seconds:.1f} sim-s, "
+                f"{self.events / self.wall_time:,.0f} events/s"
+            )
+        return line
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """Aggregated rows plus the underlying grid accounting."""
+
+    spec: ExperimentSpec
+    cells: List[GridCell]
+    grid: GridResult
+    rows: List[Record]
+
+
+def execute_cell(cell: GridCell) -> Tuple[Record, Dict[str, Any]]:
+    """Run one cell under a perf probe; returns (record, telemetry)."""
+    spec = get_spec(cell.experiment)
+    with perf.track() as probe:
+        record = spec.run_cell(cell)
+    return record, probe.telemetry()
+
+
+def _execute_cell_worker(cell: GridCell) -> Tuple[Record, Dict[str, Any]]:
+    """Process-pool entry point: make sure the registry is populated."""
+    import repro.harness.experiments  # noqa: F401 — registers built-in specs
+
+    return execute_cell(cell)
+
+
+def run_grid(
+    spec: ExperimentSpec,
+    cells: List[GridCell],
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+) -> GridResult:
+    """Execute a grid, skipping cells already present in ``store``."""
+    started = time.perf_counter()
+    records: List[Optional[Record]] = [None] * len(cells)
+    telemetry: List[Optional[Dict[str, Any]]] = [None] * len(cells)
+    keys = [cell_key(cell) for cell in cells]
+    todo: List[int] = []
+    cached = 0
+    for index, key in enumerate(keys):
+        entry = store.get(key) if store is not None else None
+        if entry is not None:
+            records[index] = entry["record"]
+            telemetry[index] = entry.get("telemetry")
+            cached += 1
+        else:
+            todo.append(index)
+
+    def finish(index: int, record: Record, cell_telemetry: Dict[str, Any]) -> None:
+        records[index] = record
+        telemetry[index] = cell_telemetry
+        if store is not None:
+            store.append(cells[index], record, cell_telemetry, key=keys[index])
+
+    if jobs > 1 and len(todo) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                pool.submit(_execute_cell_worker, cells[index]): index
+                for index in todo
+            }
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    record, cell_telemetry = future.result()
+                    finish(futures[future], record, cell_telemetry)
+    else:
+        for index in todo:
+            record, cell_telemetry = execute_cell(cells[index])
+            finish(index, record, cell_telemetry)
+
+    return GridResult(
+        records=records,  # type: ignore[arg-type] — every index was filled
+        telemetry=telemetry,
+        executed=len(todo),
+        cached=cached,
+        jobs=jobs,
+        wall_time=time.perf_counter() - started,
+        executed_indices=todo,
+    )
+
+
+def run_experiment(
+    name: str,
+    scale: Any = None,
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    **options: Any,
+) -> ExperimentResult:
+    """Build, execute, and aggregate one named experiment."""
+    spec = get_spec(name)
+    cells = spec.build_cells(scale=scale, **options)
+    grid = run_grid(spec, cells, jobs=jobs, store=store)
+    rows = (
+        spec.aggregate(cells, grid.records)
+        if spec.aggregate is not None
+        else list(grid.records)
+    )
+    return ExperimentResult(spec=spec, cells=cells, grid=grid, rows=rows)

@@ -10,6 +10,7 @@ from repro.apps.workload import AppWorkload, RunResult
 from repro.errors import ReproError
 from repro.harness.calibrate import PAPER_TESTBED, NetworkProfile
 from repro.harness.scenario import Scenario, TOPOLOGY_HUB
+from repro.metrics import perf
 from repro.sttcp.config import STTCPConfig
 from repro.sttcp.manager import FailoverMetrics
 
@@ -81,9 +82,12 @@ def run_workload(
     scenario.sim.run(until=launch_at)
     if not process_box:  # pragma: no cover - the launch event just ran
         scenario.sim.step()
-    result: RunResult = scenario.sim.run_until_complete(
-        process_box[0], deadline=deadline
-    )
+    try:
+        result: RunResult = scenario.sim.run_until_complete(
+            process_box[0], deadline=deadline
+        )
+    finally:
+        perf.note_simulation(scenario.sim)
     failover = scenario.pair.failover_metrics() if scenario.pair is not None else None
     return ExperimentRun(result=result, failover=failover, scenario=scenario)
 

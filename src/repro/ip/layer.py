@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.errors import NetworkError
 from repro.ip.datagram import DEFAULT_TTL, IPDatagram, PROTO_TCP, PROTO_UDP
 from repro.ip.routing import Route, RoutingTable
 from repro.net.addresses import IPAddress, MACAddress

@@ -1,10 +1,19 @@
 """Metric snapshots and experiment samples."""
 
+from repro.metrics import perf
 from repro.metrics.collectors import (
     ChannelTraffic,
     ExperimentSample,
     HostTraffic,
     summarize,
 )
+from repro.metrics.perf import PerfProbe
 
-__all__ = ["ChannelTraffic", "ExperimentSample", "HostTraffic", "summarize"]
+__all__ = [
+    "ChannelTraffic",
+    "ExperimentSample",
+    "HostTraffic",
+    "PerfProbe",
+    "perf",
+    "summarize",
+]

@@ -22,13 +22,17 @@ class Scheduler:
 
     __slots__ = ("_heap", "_now", "_executed", "_gc_threshold")
 
+    #: Compaction trigger floor; the live threshold rises while cancelled
+    #: entries are cheap to keep and falls back here after a compaction.
+    GC_BASE_THRESHOLD = 4096
+
     def __init__(self) -> None:
         self._heap: list[EventHandle] = []
         self._now = 0.0
         self._executed = 0
         # Compact the heap when cancelled entries dominate; prevents
         # unbounded growth in timer-heavy workloads.
-        self._gc_threshold = 4096
+        self._gc_threshold = self.GC_BASE_THRESHOLD
 
     @property
     def now(self) -> float:
@@ -69,6 +73,9 @@ class Scheduler:
         if len(live) * 2 <= len(self._heap):
             heapq.heapify(live)
             self._heap = live
+            # Shrink back after compacting so one burst of cancelled
+            # timers does not pin the threshold high forever.
+            self._gc_threshold = max(self.GC_BASE_THRESHOLD, len(live) * 2)
         else:
             self._gc_threshold = max(self._gc_threshold, len(self._heap) * 2)
 
@@ -94,6 +101,28 @@ class Scheduler:
             return True
         return False
 
+    def run_next_before(self, until: Optional[float] = None) -> bool:
+        """Pop and execute the next live event if it is at or before ``until``.
+
+        One heap traversal replaces the ``peek_time()`` + ``run_next()``
+        pair, which each skipped the same cancelled prefix.  Returns
+        ``False`` — without advancing the clock — when the queue is empty
+        or the next live event is after ``until``.
+        """
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and head.time > until:
+                return False
+            heapq.heappop(self._heap)
+            self._now = head.time
+            self._executed += 1
+            head.callback(*head.args)
+            return True
+        return False
+
     def run_until(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Drain the queue, optionally bounded by time and/or event count.
 
@@ -106,11 +135,7 @@ class Scheduler:
                 if remaining <= 0:
                     return
                 remaining -= 1
-            next_time = self.peek_time()
-            if next_time is None:
+            if not self.run_next_before(until):
                 break
-            if until is not None and next_time > until:
-                break
-            self.run_next()
         if until is not None and until > self._now:
             self._now = until

@@ -123,16 +123,16 @@ class Simulator:
                     f"deadline {deadline}s passed; process {process.label!r} "
                     "still running"
                 )
-            next_time = self._scheduler.peek_time()
-            if next_time is None:
+            if self._scheduler.run_next_before(deadline):
+                continue
+            if self._scheduler.peek_time() is None:
                 raise SimulationError(
                     f"event queue empty but process {process.label!r} never "
                     "finished (deadlock?)"
                 )
-            if deadline is not None and next_time > deadline:
-                self._scheduler.run_until(until=deadline)
-                continue
-            self._scheduler.run_next()
+            # The next live event is past the deadline: advance to it and
+            # let the check at the top of the loop raise.
+            self._scheduler.run_until(until=deadline)
         return process.value
 
     def step(self) -> bool:

@@ -25,36 +25,50 @@ Sink = Callable[[TraceRecord], None]
 
 
 class Tracer:
-    """Dispatches trace records to registered sinks, filtered by category."""
+    """Dispatches trace records to registered sinks, filtered by category.
 
-    __slots__ = ("_sinks", "enabled", "_category_filter")
+    The fast-path filter is the union of every sink's categories (or
+    ``None`` while any wildcard sink is registered); it is rebuilt from
+    the per-sink bookkeeping whenever a sink is removed, so removing a
+    filtered sink drops its categories and removing the last wildcard
+    sink re-tightens the filter.
+    """
+
+    __slots__ = ("_sinks", "_sink_categories", "enabled", "_category_filter")
 
     def __init__(self) -> None:
         self._sinks: List[Sink] = []
+        self._sink_categories: List[Optional[frozenset]] = []
         self.enabled = False
         self._category_filter: Optional[set] = None
 
     def add_sink(self, sink: Sink, categories: Optional[List[str]] = None) -> None:
         """Register a sink; enables tracing as a side effect."""
         self._sinks.append(sink)
+        self._sink_categories.append(
+            None if categories is None else frozenset(categories)
+        )
         self.enabled = True
-        if categories is not None:
-            extra = set(categories)
-            if self._category_filter is None:
-                self._category_filter = extra
-            else:
-                self._category_filter |= extra
-        else:
-            self._category_filter = None  # a wildcard sink sees everything
+        self._rebuild_filter()
 
     def remove_sink(self, sink: Sink) -> None:
         try:
-            self._sinks.remove(sink)
+            index = self._sinks.index(sink)
         except ValueError:
-            pass
-        if not self._sinks:
-            self.enabled = False
-            self._category_filter = None
+            return
+        del self._sinks[index]
+        del self._sink_categories[index]
+        self.enabled = bool(self._sinks)
+        self._rebuild_filter()
+
+    def _rebuild_filter(self) -> None:
+        if not self._sinks or any(c is None for c in self._sink_categories):
+            self._category_filter = None  # a wildcard sink sees everything
+        else:
+            union: set = set()
+            for categories in self._sink_categories:
+                union |= categories  # type: ignore[arg-type]
+            self._category_filter = union
 
     def emit(self, time: float, category: str, event: str, **fields: Any) -> None:
         if not self.enabled:

@@ -24,7 +24,6 @@ from repro.net.nic import NIC
 from repro.sttcp.config import STTCPConfig
 from repro.sttcp.failure_detector import HeartbeatMonitor
 from repro.sttcp.messages import (
-    AckReply,
     BackupAck,
     ChannelMessage,
     ConnKey,
@@ -34,7 +33,6 @@ from repro.sttcp.messages import (
     conn_key,
 )
 from repro.sttcp.power_switch import PowerSwitch
-from repro.tcp.constants import FLAG_ACK
 from repro.tcp.segment import TCPSegment
 from repro.tcp.seqspace import unwrap, wrap
 from repro.tcp.tcb import TCPConnection
@@ -228,7 +226,10 @@ class STTCPBackup:
             return
         state = self._connections.get(conn_key(datagram.dst, segment.dst_port))
         if state is None:
-            return
+            if segment.is_syn and segment.is_ack:
+                state = self._adopt_missed_connection(datagram.dst, segment)
+            if state is None:
+                return
         tcb = state.tcb
         if segment.is_syn and segment.is_ack and not tcb.isn_rebased:
             # The primary's SYN/ACK reveals its ISN directly (§4.1) — the
@@ -248,6 +249,32 @@ class STTCPBackup:
             seg_end = unwrap(segment.seq, tcb.snd_nxt) + segment.payload_length
             if state.primary_snd_nxt is None or seg_end > state.primary_snd_nxt:
                 state.primary_snd_nxt = seg_end
+
+    def _adopt_missed_connection(
+        self, client_ip: IPAddress, synack: TCPSegment
+    ) -> Optional[_ShadowConnState]:
+        """The tap lost the client's SYN: reconstruct the shadow from the
+        tapped primary SYN/ACK, whose ack field reveals the client's ISN
+        (§4.1).  Without this, one lost frame on the tap makes the whole
+        connection invisible to the backup and the takeover resets it.
+        """
+        tcb = self.host.tcp.open_late_shadow(
+            self.service_ip,
+            self.service_port,
+            client_ip,
+            synack.dst_port,
+            wrap(synack.ack - 1),
+        )
+        if tcb is None:
+            return None
+        if self.sim.trace.enabled:
+            self.sim.trace.emit(
+                self.sim.now,
+                "sttcp",
+                "late_shadow",
+                client=f"{client_ip}:{synack.dst_port}",
+            )
+        return self._connections.get(conn_key(client_ip, synack.dst_port))
 
     def _request_retransmission(
         self, state: _ShadowConnState, start_abs: int, stop_abs: int

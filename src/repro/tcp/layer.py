@@ -15,7 +15,7 @@ from repro.ip.datagram import PROTO_TCP, IPDatagram
 from repro.net.addresses import IPAddress
 from repro.net.nic import NIC
 from repro.tcp.config import TCPConfig
-from repro.tcp.constants import SEQ_MASK
+from repro.tcp.constants import FLAG_SYN, SEQ_MASK
 from repro.tcp.listener import TCPListener
 from repro.tcp.segment import TCPSegment, make_rst
 from repro.tcp.socket import TCPSocket
@@ -180,6 +180,41 @@ class TCPLayer:
         for observer in self.connection_observers:
             observer(tcb)
         tcb.open_passive(syn)
+
+    def open_late_shadow(
+        self,
+        local_ip: IPAddress,
+        local_port: int,
+        remote_ip: IPAddress,
+        remote_port: int,
+        client_isn: int,
+    ) -> Optional[TCPConnection]:
+        """Open a shadow for a connection whose client SYN this host missed.
+
+        The ST-TCP backup calls this when a *tapped primary SYN/ACK*
+        reveals a connection it never saw (the tap lost the client's
+        handshake): the SYN/ACK's ack field gives the client's ISN, so the
+        shadow can be opened exactly as if the SYN had arrived.  Returns
+        ``None`` unless this host is shadowing and a listener accepts.
+        """
+        if self.shadow_factory is None:
+            return None
+        if self.find_connection(local_ip, local_port, remote_ip, remote_port):
+            return None
+        listener = self._find_listener(local_ip, local_port)
+        if listener is None or not listener.may_accept_syn():
+            return None
+        syn = TCPSegment(
+            src_port=remote_port,
+            dst_port=local_port,
+            seq=client_isn & SEQ_MASK,
+            ack=0,
+            flags=FLAG_SYN,
+            window=0,
+        )
+        datagram = IPDatagram(remote_ip, local_ip, PROTO_TCP, syn, syn.size)
+        self._passive_open(listener, datagram, syn)
+        return self.find_connection(local_ip, local_port, remote_ip, remote_port)
 
     def _send_unmatched_rst(self, datagram: IPDatagram, segment: TCPSegment) -> None:
         if segment.is_ack:

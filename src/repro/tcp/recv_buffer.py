@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.util.bytespan import EMPTY, ByteSpan, concat
+from repro.util.bytespan import EMPTY, ByteSpan
 from repro.util.spanbuffer import SpanBuffer
 
 

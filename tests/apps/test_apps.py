@@ -1,6 +1,5 @@
 """End-to-end application tests on a standard (non-ST-TCP) server."""
 
-import pytest
 
 from repro.apps.client import run_client
 from repro.apps.server import start_server
@@ -142,7 +141,6 @@ def test_malformed_request_aborts_connection_not_server():
 
 
 def test_listener_close_fails_pending_accepts():
-    from repro.errors import ConnectionClosed
     from repro.sim.simulator import Simulator
     from tests.conftest import LanPair
 

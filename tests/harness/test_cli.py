@@ -1,7 +1,5 @@
 """Tests for the experiment CLI and record exports."""
 
-import json
-
 import pytest
 
 from repro.harness.cli import build_parser, main

@@ -1,13 +1,11 @@
 """Tests for the packet logger node and its client (§3.2)."""
 
-import pytest
 
 from repro.apps.workload import upload_workload
 from repro.faults.injection import add_tap_outage
 from repro.harness.runner import run_workload
-from repro.logger.messages import LoggerData, LoggerDone, LoggerQuery
 from repro.logger.packet_logger import _StreamLog
-from repro.util.bytespan import PatternBytes, RealBytes
+from repro.util.bytespan import RealBytes
 from repro.util.units import KB
 
 from tests.sttcp.conftest import make_scenario
@@ -123,7 +121,7 @@ def test_redundant_loggers_survive_one_logger_crash():
     """§3.2: two loggers remove the logger as a single point of failure.
     A second logger host joins the hub; the first logger dies before the
     double failure, and recovery still succeeds from the survivor."""
-    from repro.harness.scenario import LOGGER_IP, SERVICE_IP, SERVICE_PORT
+    from repro.harness.scenario import SERVICE_IP, SERVICE_PORT
     from repro.host.host import Host
     from repro.logger.client import LoggerClient
     from repro.logger.packet_logger import PacketLogger

@@ -1,6 +1,6 @@
 """Tests for the tcpdump-style trace renderer."""
 
-from repro.net.tcpdump import PacketDump, format_frame, format_segment
+from repro.net.tcpdump import PacketDump, format_segment
 from repro.sim.simulator import Simulator
 from repro.tcp.constants import FLAG_ACK, FLAG_PSH, FLAG_SYN
 from repro.tcp.segment import TCPSegment

@@ -71,6 +71,42 @@ def test_remove_sink_disables_when_empty():
     assert not tracer.enabled
 
 
+def test_removing_filtered_sink_drops_its_categories():
+    tracer = Tracer()
+    tcp_sink = RecordingSink()
+    ip_sink = RecordingSink()
+    tracer.add_sink(tcp_sink, categories=["tcp"])
+    tracer.add_sink(ip_sink, categories=["ip"])
+    tracer.remove_sink(tcp_sink)
+    tracer.emit(0.0, "tcp", "send")
+    tracer.emit(0.0, "ip", "drop")
+    assert [r.category for r in ip_sink.records] == ["ip"]
+
+
+def test_removing_wildcard_sink_restores_filter():
+    tracer = Tracer()
+    wildcard = RecordingSink()
+    filtered = RecordingSink()
+    tracer.add_sink(filtered, categories=["tcp"])
+    tracer.add_sink(wildcard)
+    tracer.emit(0.0, "ip", "drop")  # wildcard sink sees everything
+    assert [r.category for r in wildcard.records] == ["ip"]
+    tracer.remove_sink(wildcard)
+    tracer.emit(0.0, "ip", "drop")  # filter is tight again
+    tracer.emit(0.0, "tcp", "send")
+    assert [r.category for r in filtered.records] == ["ip", "tcp"]
+    assert tracer.enabled
+
+
+def test_remove_unknown_sink_is_noop():
+    tracer = Tracer()
+    sink = RecordingSink()
+    tracer.add_sink(sink, categories=["tcp"])
+    tracer.remove_sink(RecordingSink())
+    tracer.emit(0.0, "tcp", "send")
+    assert len(sink.records) == 1
+
+
 def test_print_sink_renders(capsys):
     sink = PrintSink(prefix="T ")
     tracer = Tracer()

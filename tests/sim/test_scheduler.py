@@ -129,3 +129,53 @@ def test_executed_count():
         scheduler.schedule_at(float(i), lambda: None)
     scheduler.run_until()
     assert scheduler.executed_count == 5
+
+
+def test_run_next_before_respects_bound():
+    scheduler = Scheduler()
+    ran = []
+    scheduler.schedule_at(1.0, ran.append, (1,))
+    scheduler.schedule_at(3.0, ran.append, (3,))
+    assert scheduler.run_next_before(2.0)
+    assert ran == [1]
+    assert scheduler.now == 1.0
+    # Next live event is past the bound: nothing runs, clock holds.
+    assert not scheduler.run_next_before(2.0)
+    assert ran == [1]
+    assert scheduler.now == 1.0
+    # Unbounded call executes it.
+    assert scheduler.run_next_before(None)
+    assert ran == [1, 3]
+
+
+def test_run_next_before_skips_cancelled_prefix():
+    scheduler = Scheduler()
+    ran = []
+    doomed = [scheduler.schedule_at(1.0 + i, ran.append, (i,)) for i in range(5)]
+    scheduler.schedule_at(9.0, ran.append, ("live",))
+    for handle in doomed:
+        handle.cancel()
+    assert not scheduler.run_next_before(8.0)
+    assert scheduler.run_next_before(10.0)
+    assert ran == ["live"]
+    assert not scheduler.run_next_before(10.0)  # queue now empty
+
+
+def test_gc_threshold_shrinks_after_compaction():
+    scheduler = Scheduler()
+    base = Scheduler.GC_BASE_THRESHOLD
+    # Grow past the trigger with mostly-live entries so the threshold rises.
+    handles = [scheduler.schedule_at(1.0 + i, lambda: None) for i in range(base + 1)]
+    assert scheduler._gc_threshold > base
+    # Now cancel everything and fill up to the raised threshold with
+    # dead entries; the next push triggers a compaction.
+    for handle in handles:
+        handle.cancel()
+    for _ in range(scheduler._gc_threshold - len(scheduler._heap)):
+        scheduler.schedule_at(10.0, lambda: None).cancel()
+    scheduler.schedule_at(10.0, lambda: None)
+    assert scheduler.pending_count == 1
+    assert len(scheduler._heap) == 1
+    # After compacting, the threshold is back at the base instead of
+    # being pinned at the burst-era high-water mark.
+    assert scheduler._gc_threshold == base

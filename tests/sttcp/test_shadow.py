@@ -4,7 +4,6 @@ state tracking, backup acknowledgments, retention release."""
 from repro.apps.workload import bulk_workload, echo_workload, upload_workload
 from repro.harness.runner import run_workload
 from repro.sttcp.backup import ROLE_PASSIVE
-from repro.sttcp.messages import conn_key
 from repro.tcp.constants import TCPState
 from repro.util.units import KB
 
@@ -22,8 +21,6 @@ def test_backup_is_silent_during_failure_free_run():
     run_on(scenario, echo_workload(10)).require_clean()
     backup_nic = scenario.backup.nics[0]
     # Everything the backup sent is UDP channel traffic — no TCP segments.
-    from repro.ip.datagram import PROTO_TCP
-
     assert scenario.backup.tcp.connections  # shadow exists
     for tcb in scenario.backup.tcp.connections:
         assert tcb.segments_sent == 0

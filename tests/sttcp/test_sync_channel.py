@@ -1,8 +1,7 @@
 """UDP-channel tests (§4.2–4.3): tap-loss repair, messages, backup failure."""
 
-import pytest
 
-from repro.apps.workload import bulk_workload, echo_workload, upload_workload
+from repro.apps.workload import bulk_workload, upload_workload
 from repro.faults.injection import add_tap_loss, add_tap_outage
 from repro.harness.runner import run_workload
 from repro.sttcp.messages import (

@@ -1,11 +1,7 @@
 """TCP edge cases: half-close, backlog, concurrent flows, challenge ACKs."""
 
-import pytest
 
-from repro.errors import ConnectionClosed
 from repro.sim.simulator import Simulator
-from repro.tcp.config import TCPConfig
-from repro.tcp.constants import TCPState
 from repro.util.bytespan import PatternBytes
 from repro.util.units import KB, MB
 

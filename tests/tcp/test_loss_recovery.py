@@ -1,6 +1,5 @@
 """Loss recovery tests: fast retransmit, RTO, go-back-N, Karn, dup ACKs."""
 
-import pytest
 
 from repro.ip.datagram import PROTO_TCP
 from repro.net.loss import RandomLoss, ScriptedLoss

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ConnectionClosed, ConnectionReset
+from repro.errors import ConnectionReset
 from repro.sim.simulator import Simulator
 from repro.tcp.config import TCPConfig
 from repro.util.bytespan import PatternBytes

@@ -1,7 +1,6 @@
 """Tests for the TCP timestamp option (disabled in the paper's runs, §6,
 but implemented and negotiable)."""
 
-import pytest
 
 from repro.sim.simulator import Simulator
 from repro.tcp.config import TCPConfig

@@ -5,7 +5,7 @@ import pytest
 from repro.sim.simulator import Simulator
 from repro.tcp.config import TCPConfig
 from repro.util.bytespan import PatternBytes
-from repro.util.units import KB, MB, mbps, transmission_time, us
+from repro.util.units import KB, MB, mbps, us
 
 from tests.conftest import LanPair
 

@@ -7,7 +7,6 @@
   random crash times.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
