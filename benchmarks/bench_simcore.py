@@ -67,6 +67,32 @@ def test_scheduler_dispatch_with_cancellations(benchmark):
     benchmark.extra_info["events_per_sec"] = round(EVENTS / benchmark.stats.stats.mean)
 
 
+def test_scheduler_dispatch_with_cancellations_heap_backend(benchmark):
+    """The same cancellation-heavy drain pinned to the heap-only backend.
+
+    Tracks what the timing wheel buys us: the gap between this number and
+    ``test_scheduler_dispatch_with_cancellations`` is the wheel's win.
+    """
+
+    def setup():
+        scheduler = Scheduler(wheel=False)
+        live = 0
+        for i in range(EVENTS):
+            handle = scheduler.schedule_at(i * 1e-6, _noop)
+            if i % 4:
+                handle.cancel()
+            else:
+                live += 1
+        return (scheduler, live), {}
+
+    def drain(scheduler, live):
+        scheduler.run_until()
+        return scheduler.executed_count == live
+
+    assert benchmark.pedantic(drain, setup=setup, rounds=5, iterations=1)
+    benchmark.extra_info["events_per_sec"] = round(EVENTS / benchmark.stats.stats.mean)
+
+
 def test_bulk_transfer_1mb(benchmark):
     """End-to-end kernel throughput: a full 1 MB bulk transfer."""
 

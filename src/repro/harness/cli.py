@@ -15,11 +15,15 @@ result store (``results/results.jsonl`` by default; ``--store PATH`` to
 relocate, ``--no-store`` to disable) and skipped on re-runs.
 
 Exports: ``--json PATH`` / ``--csv PATH`` write the raw records.
+
+Profiling: ``--profile`` samples wall time per simulator layer and writes
+``profile_<experiment>.json`` next to the result store (docs/HARNESS.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Any, Dict, List, Optional
@@ -54,14 +58,35 @@ def _store_from_args(args: argparse.Namespace) -> Optional[ResultStore]:
     return ResultStore(path)
 
 
+def _profile_path(name: str, args: argparse.Namespace, store: Optional[ResultStore]):
+    """Report destination for ``--profile``: next to the result store."""
+    if not getattr(args, "profile", False):
+        return None
+    base = store.path.parent if store is not None else default_store_path().parent
+    return base / f"profile_{name}.json"
+
+
 def _run(name: str, args: argparse.Namespace, **options: Any) -> ExperimentResult:
+    store = _store_from_args(args)
+    profile_path = _profile_path(name, args, store)
     result = run_experiment(
         name,
         jobs=getattr(args, "jobs", 1),
-        store=_store_from_args(args),
+        store=store,
+        profile_path=profile_path,
         **options,
     )
     print(result.grid.summary(), file=sys.stderr)
+    if profile_path is not None:
+        report = json.loads(profile_path.read_text())
+        layers = ", ".join(
+            f"{layer} {info['fraction']:.0%}"
+            for layer, info in report["layers"].items()
+        )
+        print(
+            f"profile: {report['samples']} samples -> {profile_path} ({layers})",
+            file=sys.stderr,
+        )
     return result
 
 
@@ -225,6 +250,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--no-store",
             action="store_true",
             help="do not read or write the result store",
+        )
+        p.add_argument(
+            "--profile",
+            action="store_true",
+            help="sample wall time per layer; JSON report lands next to the "
+            "result store (use with --jobs 1)",
         )
         p.add_argument("--json", metavar="PATH", help="export records as JSON")
         p.add_argument("--csv", metavar="PATH", help="export records as CSV")

@@ -1,6 +1,6 @@
 """Metric snapshots and experiment samples."""
 
-from repro.metrics import perf
+from repro.metrics import perf, profile
 from repro.metrics.collectors import (
     ChannelTraffic,
     ExperimentSample,
@@ -8,12 +8,15 @@ from repro.metrics.collectors import (
     summarize,
 )
 from repro.metrics.perf import PerfProbe
+from repro.metrics.profile import SamplingProfiler
 
 __all__ = [
     "ChannelTraffic",
     "ExperimentSample",
     "HostTraffic",
     "PerfProbe",
+    "SamplingProfiler",
     "perf",
+    "profile",
     "summarize",
 ]

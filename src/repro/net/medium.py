@@ -91,6 +91,12 @@ class Cable:
             raise NetworkError(f"negative link delay {delay}")
         self.sim = sim
         self.rate_bps = rate_bps
+        # Per-size serialisation-time cache.  A precomputed reciprocal
+        # (size * (8/rate)) would be one multiply but rounds differently
+        # from size*8.0/rate in the last ulp, perturbing every arrival
+        # time and invalidating stored result hashes; frames come in a
+        # handful of wire sizes, so an exact memo is just as cheap.
+        self._tx_time_cache: dict = {}
         self.delay = delay
         self.full_duplex = full_duplex
         self.loss_model = loss_model or NoLoss()
@@ -116,7 +122,10 @@ class Cable:
 
     def _transmit(self, direction: _CableDirection, frame: EthernetFrame) -> None:
         now = self.sim.now
-        tx_time = transmission_time(frame.wire_size, self.rate_bps)
+        size = frame.wire_size
+        tx_time = self._tx_time_cache.get(size)
+        if tx_time is None:
+            tx_time = self._tx_time_cache[size] = transmission_time(size, self.rate_bps)
         if self.full_duplex:
             start = max(now, direction.next_free)
             direction.next_free = start + tx_time
@@ -177,6 +186,13 @@ class Hub:
         self.loss_model = loss_model or NoLoss()
         self.name = name
         self._attachments: List[HubAttachment] = []
+        #: Cached fanout snapshot: the currently-attached attachments, so
+        #: the per-frame loop skips the ``attached`` re-check per station.
+        #: Invalidated (None) on attach/detach; deliveries cannot race it
+        #: because receive callbacks run from the scheduler, never inside
+        #: the fanout loop itself.
+        self._fanout: Optional[List[HubAttachment]] = None
+        self._tx_time_cache: dict = {}  # see Cable: bit-exact memo
         self._next_free = 0.0
         self.frames_carried = 0
         self.bytes_carried = 0
@@ -185,6 +201,7 @@ class Hub:
         """Plug a station into the hub; returns its attachment."""
         attachment = HubAttachment(self, receiver)
         self._attachments.append(attachment)
+        self._fanout = None
         attach_cb = getattr(receiver, "attached_to", None)
         if attach_cb is not None:
             attach_cb(attachment)
@@ -195,10 +212,14 @@ class Hub:
             self._attachments.remove(attachment)
         except ValueError:
             pass
+        self._fanout = None
 
     def _transmit(self, sender: HubAttachment, frame: EthernetFrame) -> None:
         now = self.sim.now
-        tx_time = transmission_time(frame.wire_size, self.rate_bps)
+        size = frame.wire_size
+        tx_time = self._tx_time_cache.get(size)
+        if tx_time is None:
+            tx_time = self._tx_time_cache[size] = transmission_time(size, self.rate_bps)
         start = max(now, self._next_free)
         self._next_free = start + tx_time
         if self.loss_model(frame, now):
@@ -206,10 +227,12 @@ class Hub:
                 self.sim.trace.emit(now, "link", "drop", link=self.name, frame=frame.frame_id)
             return
         self.frames_carried += 1
-        self.bytes_carried += frame.wire_size
+        self.bytes_carried += size
         arrival = start + tx_time + self.delay
-        for attachment in self._attachments:
-            if attachment is not sender and attachment.attached:
-                self.sim.schedule_at(
-                    arrival, attachment.receiver.receive_frame, frame
-                )
+        fanout = self._fanout
+        if fanout is None:
+            fanout = self._fanout = [a for a in self._attachments if a.attached]
+        schedule_at = self.sim.schedule_at
+        for attachment in fanout:
+            if attachment is not sender:
+                schedule_at(arrival, attachment.receiver.receive_frame, frame)

@@ -11,6 +11,7 @@ Two kinds of objects live here:
 
 from __future__ import annotations
 
+import functools
 import itertools
 from typing import Any, Callable, List, Optional
 
@@ -30,9 +31,14 @@ class EventHandle:
 
     Instances are created by the scheduler; user code only cancels them.
     Cancellation is O(1): the handle is flagged and skipped when popped.
+    The scheduler keeps a back-reference (``_sched``) while the handle is
+    queued so cancellation can maintain the O(1) live-entry counters, and
+    ``_tick`` records which backend holds it (a timing-wheel tick, or -1
+    for the heap).  Handles are recycled through the scheduler's free list
+    once they have fired and no outside reference remains.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "_cancelled")
+    __slots__ = ("time", "priority", "seq", "callback", "args", "_cancelled", "_sched", "_tick")
 
     def __init__(
         self,
@@ -47,14 +53,22 @@ class EventHandle:
         self.callback = callback
         self.args = args
         self._cancelled = False
+        self._sched: Any = None
+        self._tick = -1
 
     def cancel(self) -> None:
         """Prevent the callback from running.  Safe to call repeatedly."""
+        if self._cancelled:
+            return
         self._cancelled = True
         # Drop references eagerly so cancelled timers do not pin payloads
         # (a retransmit timer can capture an entire segment).
         self.callback = _noop
         self.args = ()
+        sched = self._sched
+        if sched is not None:
+            self._sched = None
+            sched._on_cancel(self)
 
     @property
     def cancelled(self) -> bool:
@@ -62,11 +76,14 @@ class EventHandle:
 
     # Heap ordering -------------------------------------------------------
     def __lt__(self, other: "EventHandle") -> bool:
-        return (self.time, self.priority, self.seq) < (
-            other.time,
-            other.priority,
-            other.seq,
-        )
+        # Direct field comparisons: this runs O(log n) times per heap
+        # operation, and building two tuples per call dominated the old
+        # scheduler's profile.
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "cancelled" if self._cancelled else "pending"
@@ -195,24 +212,29 @@ class AnyOf(SimEvent):
     so they do not resume anyone through this combinator twice.
     """
 
-    __slots__ = ("events",)
+    __slots__ = ("events", "_child_callbacks")
 
     def __init__(self, sim: Any, events: List[SimEvent]) -> None:
         super().__init__(sim, "any_of")
         if not events:
             raise SimulationError("AnyOf requires at least one event")
         self.events = list(events)
-        for event in self.events:
-            event.add_callback(self._child_done)
+        # Each child gets its own callback closure carrying its index, so
+        # completion does not pay an O(n) ``list.index`` scan per trigger.
+        self._child_callbacks: List[Callable[[SimEvent], None]] = []
+        for index, event in enumerate(self.events):
+            callback = functools.partial(self._child_done, index)
+            self._child_callbacks.append(callback)
+            event.add_callback(callback)
 
-    def _child_done(self, event: SimEvent) -> None:
+    def _child_done(self, index: int, event: SimEvent) -> None:
         if self.triggered:
             return
-        for other in self.events:
+        for other, callback in zip(self.events, self._child_callbacks):
             if other is not event:
-                other.discard_callback(self._child_done)
+                other.discard_callback(callback)
         if event.ok:
-            self.succeed((self.events.index(event), event))
+            self.succeed((index, event))
         else:
             self.fail(event.exception)  # type: ignore[arg-type]
 

@@ -50,7 +50,7 @@ class Process(SimEvent):
         self._started = False
         # First resumption happens as a scheduled event so that spawning
         # inside another process does not reenter user code synchronously.
-        sim.schedule(0.0, self._resume_with, None, None, priority=PRIORITY_NORMAL)
+        sim.call_later(0.0, self._resume_with, None, None, priority=PRIORITY_NORMAL)
 
     # Lifecycle -----------------------------------------------------------
     @property
@@ -70,7 +70,7 @@ class Process(SimEvent):
         if self._waiting_on is not None:
             self._waiting_on.discard_callback(self._event_done)
             self._waiting_on = None
-        self.sim.schedule(
+        self.sim.call_later(
             0.0, self._resume_with, None, InterruptError(cause), priority=PRIORITY_NORMAL
         )
 
@@ -125,7 +125,7 @@ class Process(SimEvent):
             # Resume via the scheduler rather than synchronously: a chain
             # of already-ready events (e.g. reads from a full buffer) must
             # not recurse one Python frame per step.
-            self.sim.schedule(0.0, self._event_done, target)
+            self.sim.call_later(0.0, self._event_done, target)
         else:
             target.add_callback(self._event_done)
 

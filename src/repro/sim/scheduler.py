@@ -1,38 +1,254 @@
-"""The event heap driving the discrete-event simulation.
+"""The event queue driving the discrete-event simulation.
 
-The scheduler is intentionally minimal: a binary heap of
-:class:`~repro.sim.events.EventHandle` objects ordered by
-``(time, priority, seq)``.  Cancelled handles are lazily discarded when they
-reach the top of the heap, which keeps cancellation O(1) at the cost of some
-heap slack — the right trade for TCP workloads where most retransmission
-timers are cancelled by an ACK long before they fire.
+Two backends cooperate behind one ``schedule_at`` API, selected per call:
+
+* a **hierarchical timing wheel** (Varghese–Lauck) for the short-horizon
+  timer band.  TCP workloads are overwhelmingly timer workloads — most
+  retransmission timers are cancelled by an ACK long before firing — and a
+  wheel makes both insert and cancelled-entry disposal O(1) (a flag check
+  when the slot is opened) instead of O(log n) heap percolation per pop;
+* a **binary heap** of :class:`~repro.sim.events.EventHandle` objects for
+  events beyond the wheel horizon, ordered by ``(time, priority, seq)``.
+  Cancelled handles are lazily discarded, and the heap is compacted when
+  the *dead fraction* exceeds one half (never based on raw length alone).
+
+Both backends dispatch in exactly the same ``(time, priority, seq)`` order
+— the seq tie-break is a per-scheduler counter assigned at schedule time —
+so a run is bit-identical whichever backend each event landed in.  The
+differential tests in ``tests/sim/test_timing_wheel.py`` and the grid-hash
+test in ``tests/harness/test_backend_differential.py`` enforce this.
+
+Handles are recycled through a bounded free list once they have fired (or
+were popped cancelled) and no outside reference remains — verified with
+``sys.getrefcount`` so a caller-retained handle is never reused under it.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+import os
+from bisect import insort
+from operator import attrgetter
+from sys import getrefcount
+from typing import Any, Callable, List, Optional
 
 from repro.errors import SimulationError
 from repro.sim.events import PRIORITY_NORMAL, EventHandle
 
+_sort_key = attrgetter("time", "priority", "seq")
+
+#: Environment override for the queue backend: ``heap`` disables the
+#: timing wheel (everything goes through the binary heap).  Used by the
+#: differential tests to prove the two backends order identically.
+BACKEND_ENV = "REPRO_SCHED_BACKEND"
+
+
+class TimingWheel:
+    """Hierarchical timing wheel for the near-future event band.
+
+    Three levels of 256/256/64 slots at ``resolution`` seconds per tick
+    give a horizon of ``2**22`` ticks (≈7 minutes at the default 100 µs
+    resolution).  Slot membership is by absolute tick (``floor(time /
+    resolution)``, computed once at insert); events cascade down a level
+    whenever the cursor crosses that level's slot boundary.
+
+    Within a slot, events are sorted by ``(time, priority, seq)`` when the
+    slot is opened, and late arrivals for the open slot (or for ticks the
+    cursor already passed — possible when the cursor ran ahead through
+    empty slots) are bisect-inserted into the unconsumed tail of the ready
+    list, so dispatch order is identical to a single global heap.
+    """
+
+    __slots__ = (
+        "resolution",
+        "_inv_resolution",
+        "_levels",
+        "_counts",
+        "_cur_tick",
+        "_ready",
+        "_ready_pos",
+        "live",
+    )
+
+    #: Slot counts per level (level 0 is the finest).
+    LEVEL_SLOTS = (256, 256, 64)
+    #: Tick span covered by one slot of each level.
+    _SPAN0 = 256
+    _SPAN1 = 256 * 256
+    #: Total horizon in ticks; events farther out go to the heap.
+    HORIZON_TICKS = 256 * 256 * 64
+
+    def __init__(self, resolution: float) -> None:
+        if resolution <= 0:
+            raise SimulationError(f"wheel resolution must be positive, got {resolution}")
+        self.resolution = resolution
+        self._inv_resolution = 1.0 / resolution
+        self._levels: List[List[List[EventHandle]]] = [
+            [[] for _ in range(slots)] for slots in self.LEVEL_SLOTS
+        ]
+        self._counts = [0, 0, 0]  # entries per level, including cancelled
+        self._cur_tick = 0
+        self._ready: List[Optional[EventHandle]] = []
+        self._ready_pos = 0
+        self.live = 0  # non-cancelled entries anywhere in the wheel
+
+    def tick_for(self, time: float) -> int:
+        """Slot tick for an absolute time (monotonic in ``time``)."""
+        return int(time * self._inv_resolution)
+
+    def sync_if_empty(self, now_tick: int) -> None:
+        """Fast-forward the cursor over a fully-drained wheel.
+
+        Keeps insert deltas small after long heap-only stretches; only
+        legal when no live entry remains (stale cancelled entries are
+        harmless — every dispatch path checks the cancelled flag).
+        """
+        if self.live == 0 and now_tick > self._cur_tick:
+            self._cur_tick = now_tick
+            self._ready = []
+            self._ready_pos = 0
+
+    def insert(self, handle: EventHandle, tick: int) -> None:
+        """File a handle under its tick; caller guarantees the horizon."""
+        delta = tick - self._cur_tick
+        if delta <= 0:
+            # The cursor already passed (or sits on) this tick: merge into
+            # the sorted unconsumed tail of the ready list.
+            insort(self._ready, handle, lo=self._ready_pos, key=_sort_key)
+        elif delta < self._SPAN0:
+            self._levels[0][tick & 255].append(handle)
+            self._counts[0] += 1
+        elif delta < self._SPAN1:
+            self._levels[1][(tick >> 8) & 255].append(handle)
+            self._counts[1] += 1
+        else:
+            self._levels[2][(tick >> 16) & 63].append(handle)
+            self._counts[2] += 1
+        self.live += 1
+
+    def peek(self) -> Optional[EventHandle]:
+        """Earliest live entry, advancing the cursor as needed."""
+        ready = self._ready
+        pos = self._ready_pos
+        size = len(ready)
+        while pos < size:
+            head = ready[pos]
+            if head is not None and not head._cancelled:
+                self._ready_pos = pos
+                return head
+            pos += 1
+        self._ready_pos = 0
+        ready.clear()
+        if self.live == 0:
+            return None
+        return self._advance()
+
+    def pop(self) -> EventHandle:
+        """Remove and return the entry :meth:`peek` just found."""
+        pos = self._ready_pos
+        handle = self._ready[pos]
+        self._ready[pos] = None  # drop the list's reference for recycling
+        self._ready_pos = pos + 1
+        self.live -= 1
+        return handle  # type: ignore[return-value]
+
+    def _advance(self) -> EventHandle:
+        """Walk the cursor forward to the next slot with a live entry."""
+        counts = self._counts
+        level0 = self._levels[0]
+        cur = self._cur_tick
+        # Safety bound: one full horizon plus one wrap of cascades.
+        limit = cur + self.HORIZON_TICKS + self._SPAN1
+        while cur < limit:
+            if counts[0] == 0:
+                # Jump empty fine-grained spans in one step.
+                if counts[1] == 0 and counts[2] == 0:
+                    cur = (((cur >> 16) + 1) << 16) - 1
+                else:
+                    cur = (((cur >> 8) + 1) << 8) - 1
+            cur += 1
+            if cur & 255 == 0:
+                self._cur_tick = cur
+                if cur & 65535 == 0:
+                    self._cascade(2, cur)
+                self._cascade(1, cur)
+            if counts[0]:
+                slot = level0[cur & 255]
+                if slot:
+                    level0[cur & 255] = []
+                    counts[0] -= len(slot)
+                    batch: List[Optional[EventHandle]] = [
+                        handle for handle in slot if not handle._cancelled
+                    ]
+                    if batch:
+                        batch.sort(key=_sort_key)
+                        self._ready = batch
+                        self._ready_pos = 0
+                        self._cur_tick = cur
+                        return batch[0]  # type: ignore[return-value]
+        raise SimulationError(
+            "timing wheel inconsistency: live counter positive but no entry found"
+        )
+
+    def _cascade(self, level: int, cur: int) -> None:
+        """Redistribute one coarse slot into the finer levels."""
+        if level == 2:
+            index = (cur >> 16) & 63
+        else:
+            index = (cur >> 8) & 255
+        slot = self._levels[level][index]
+        if not slot:
+            return
+        self._levels[level][index] = []
+        counts = self._counts
+        counts[level] -= len(slot)
+        levels = self._levels
+        for handle in slot:
+            if handle._cancelled:
+                continue
+            tick = handle._tick
+            delta = tick - cur
+            if delta < self._SPAN0:
+                levels[0][tick & 255].append(handle)
+                counts[0] += 1
+            else:
+                levels[1][(tick >> 8) & 255].append(handle)
+                counts[1] += 1
+
 
 class Scheduler:
-    """A time-ordered queue of pending callbacks."""
+    """A time-ordered queue of pending callbacks (wheel + heap)."""
 
-    __slots__ = ("_heap", "_now", "_executed", "_gc_threshold")
+    __slots__ = ("_heap", "_wheel", "_now", "_executed", "_heap_live", "_seq", "_free")
 
-    #: Compaction trigger floor; the live threshold rises while cancelled
-    #: entries are cheap to keep and falls back here after a compaction.
+    #: Heap compaction floor: below this length, dead entries are cheap
+    #: enough to keep regardless of fraction.
     GC_BASE_THRESHOLD = 4096
 
-    def __init__(self) -> None:
-        self._heap: list[EventHandle] = []
+    #: Default wheel tick in seconds.  100 µs splits the paper's testbed
+    #: timescales cleanly: frame times land a handful per slot, while TCP
+    #: timers (ms–s) stay well inside the ~7-minute horizon.
+    WHEEL_RESOLUTION = 1e-4
+
+    #: Recycled EventHandle pool cap.
+    FREE_LIST_MAX = 8192
+
+    def __init__(
+        self,
+        wheel: Optional[bool] = None,
+        wheel_resolution: float = WHEEL_RESOLUTION,
+    ) -> None:
+        self._heap: List[EventHandle] = []
+        if wheel is None:
+            wheel = os.environ.get(BACKEND_ENV, "wheel") != "heap"
+        self._wheel: Optional[TimingWheel] = (
+            TimingWheel(wheel_resolution) if wheel else None
+        )
         self._now = 0.0
         self._executed = 0
-        # Compact the heap when cancelled entries dominate; prevents
-        # unbounded growth in timer-heavy workloads.
-        self._gc_threshold = self.GC_BASE_THRESHOLD
+        self._heap_live = 0
+        self._seq = 0
+        self._free: List[EventHandle] = []
 
     @property
     def now(self) -> float:
@@ -46,8 +262,9 @@ class Scheduler:
 
     @property
     def pending_count(self) -> int:
-        """Number of live (non-cancelled) entries in the queue."""
-        return sum(1 for handle in self._heap if not handle.cancelled)
+        """Number of live (non-cancelled) entries in the queue — O(1)."""
+        wheel = self._wheel
+        return self._heap_live + (wheel.live if wheel is not None else 0)
 
     def schedule_at(
         self,
@@ -61,29 +278,114 @@ class Scheduler:
             raise SimulationError(
                 f"cannot schedule at t={time:.9f}, already at t={self._now:.9f}"
             )
-        handle = EventHandle(time, priority, callback, args)
+        return self._push(time, callback, args, priority)
+
+    def schedule_after(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        priority: int = PRIORITY_NORMAL,
+    ) -> EventHandle:
+        """Relative-delay fast path: skips the ``time < now`` guard.
+
+        Callers must guarantee ``delay >= 0`` (the :class:`Simulator`
+        wrappers either validate it once or hold it by construction).
+        """
+        return self._push(self._now + delay, callback, args, priority)
+
+    def _push(
+        self, time: float, callback: Callable[..., Any], args: tuple, priority: int
+    ) -> EventHandle:
+        free = self._free
+        if free:
+            handle = free.pop()
+            handle.time = time
+            handle.priority = priority
+            handle.callback = callback
+            handle.args = args
+            handle._cancelled = False
+        else:
+            handle = EventHandle(time, priority, callback, args)
+        handle.seq = self._seq
+        self._seq += 1
+        handle._sched = self
+        wheel = self._wheel
+        if wheel is not None:
+            if wheel.live == 0:
+                wheel.sync_if_empty(wheel.tick_for(self._now))
+            tick = wheel.tick_for(time)
+            if tick - wheel._cur_tick < TimingWheel.HORIZON_TICKS:
+                handle._tick = tick
+                wheel.insert(handle, tick)
+                return handle
+        handle._tick = -1
         heapq.heappush(self._heap, handle)
-        if len(self._heap) > self._gc_threshold:
-            self._maybe_compact()
+        self._heap_live += 1
         return handle
 
-    def _maybe_compact(self) -> None:
-        live = [handle for handle in self._heap if not handle.cancelled]
-        # Only pay the rebuild cost when at least half the heap is dead.
-        if len(live) * 2 <= len(self._heap):
-            heapq.heapify(live)
-            self._heap = live
-            # Shrink back after compacting so one burst of cancelled
-            # timers does not pin the threshold high forever.
-            self._gc_threshold = max(self.GC_BASE_THRESHOLD, len(live) * 2)
+    # Cancellation accounting ---------------------------------------------
+    def _on_cancel(self, handle: EventHandle) -> None:
+        """Called by :meth:`EventHandle.cancel` while the handle is queued."""
+        if handle._tick >= 0:
+            wheel = self._wheel
+            if wheel is not None:
+                wheel.live -= 1
         else:
-            self._gc_threshold = max(self._gc_threshold, len(self._heap) * 2)
+            self._heap_live -= 1
+            heap_size = len(self._heap)
+            # Compact on dead *fraction*: once half the heap is cancelled
+            # (and it is big enough to matter), rebuild it live-only.
+            if heap_size > self.GC_BASE_THRESHOLD and self._heap_live * 2 <= heap_size:
+                live = [entry for entry in self._heap if not entry._cancelled]
+                heapq.heapify(live)
+                self._heap = live
+
+    def _recycle(self, handle: EventHandle) -> None:
+        """Return a fired/dead handle to the free list if nothing else
+        holds it (caller owns exactly one reference)."""
+        # 3 == caller's local + our parameter + getrefcount's argument.
+        if len(self._free) < self.FREE_LIST_MAX and getrefcount(handle) == 3:
+            handle.callback = _noop_handle
+            handle.args = ()
+            handle._sched = None
+            self._free.append(handle)
+
+    # Inspection ----------------------------------------------------------
+    def _heap_head(self) -> Optional[EventHandle]:
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if not head._cancelled:
+                return head
+            heapq.heappop(heap)
+            self._recycle(head)
+        return None
+
+    def _next_handle(self) -> Optional[EventHandle]:
+        """Earliest live entry across both backends (no removal)."""
+        wheel = self._wheel
+        wheel_head = wheel.peek() if wheel is not None else None
+        heap_head = self._heap_head()
+        if wheel_head is None:
+            return heap_head
+        if heap_head is None or wheel_head < heap_head:
+            return wheel_head
+        return heap_head
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or ``None`` if the queue is empty."""
-        while self._heap and self._heap[0].cancelled:
+        head = self._next_handle()
+        return head.time if head is not None else None
+
+    # Execution -----------------------------------------------------------
+    def _pop(self, head: EventHandle) -> None:
+        """Remove ``head`` (the current :meth:`_next_handle`) from its backend."""
+        if head._tick >= 0:
+            self._wheel.pop()  # type: ignore[union-attr]
+        else:
             heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+            self._heap_live -= 1
 
     def run_next(self) -> bool:
         """Pop and execute the next live event.
@@ -91,37 +393,26 @@ class Scheduler:
         Returns ``False`` when the queue is empty.  Advances the clock to
         the event's timestamp before invoking the callback.
         """
-        while self._heap:
-            handle = heapq.heappop(self._heap)
-            if handle.cancelled:
-                continue
-            self._now = handle.time
-            self._executed += 1
-            handle.callback(*handle.args)
-            return True
-        return False
+        return self.run_next_before(None)
 
     def run_next_before(self, until: Optional[float] = None) -> bool:
         """Pop and execute the next live event if it is at or before ``until``.
 
-        One heap traversal replaces the ``peek_time()`` + ``run_next()``
-        pair, which each skipped the same cancelled prefix.  Returns
-        ``False`` — without advancing the clock — when the queue is empty
-        or the next live event is after ``until``.
+        Returns ``False`` — without advancing the clock — when the queue
+        is empty or the next live event is after ``until``.
         """
-        while self._heap:
-            head = self._heap[0]
-            if head.cancelled:
-                heapq.heappop(self._heap)
-                continue
-            if until is not None and head.time > until:
-                return False
-            heapq.heappop(self._heap)
-            self._now = head.time
-            self._executed += 1
-            head.callback(*head.args)
-            return True
-        return False
+        head = self._next_handle()
+        if head is None:
+            return False
+        if until is not None and head.time > until:
+            return False
+        self._pop(head)
+        self._now = head.time
+        self._executed += 1
+        head._sched = None
+        head.callback(*head.args)
+        self._recycle(head)
+        return True
 
     def run_until(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Drain the queue, optionally bounded by time and/or event count.
@@ -139,3 +430,7 @@ class Scheduler:
                 break
         if until is not None and until > self._now:
             self._now = until
+
+
+def _noop_handle(*_args: Any) -> None:
+    return None

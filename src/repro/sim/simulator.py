@@ -62,7 +62,22 @@ class Simulator:
         """Run ``callback(*args)`` after ``delay`` simulated seconds."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self._scheduler.schedule_at(self.now + delay, callback, args, priority)
+        return self._scheduler.schedule_after(delay, callback, args, priority)
+
+    def call_later(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> EventHandle:
+        """Unchecked fast path for :meth:`schedule`.
+
+        Skips the negative-delay / ``time < now`` guards entirely, for hot
+        internal call sites where ``delay >= 0`` holds by construction
+        (zero-delay process resumes, validated timeouts, armed timers).
+        """
+        return self._scheduler.schedule_after(delay, callback, args, priority)
 
     def schedule_at(
         self,
@@ -81,8 +96,8 @@ class Simulator:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event that succeeds after ``delay`` seconds."""
-        event = Timeout(self, delay)
-        self.schedule(delay, event.succeed, value)
+        event = Timeout(self, delay)  # validates delay >= 0
+        self.call_later(delay, event.succeed, value)
         return event
 
     def any_of(self, events: List[SimEvent]) -> AnyOf:

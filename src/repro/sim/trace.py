@@ -76,8 +76,13 @@ class Tracer:
         if self._category_filter is not None and category not in self._category_filter:
             return
         record = TraceRecord(time, category, event, fields)
-        for sink in self._sinks:
-            sink(record)
+        # The union filter above is only the fast path; each sink still
+        # sees exclusively its own categories (a sink registered for
+        # ["tcp"] must not receive "link" records merely because another
+        # sink subscribed to them).
+        for sink, categories in zip(self._sinks, self._sink_categories):
+            if categories is None or category in categories:
+                sink(record)
 
 
 class RecordingSink:

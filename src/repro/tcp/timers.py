@@ -36,9 +36,14 @@ class RestartableTimer:
         return None
 
     def start(self, delay: float) -> None:
-        """Arm (or re-arm) the timer ``delay`` seconds from now."""
+        """Arm (or re-arm) the timer ``delay`` seconds from now.
+
+        Uses the scheduler's relative fast path: every retransmit,
+        delayed-ACK and persist arming goes through here, and the delays
+        are non-negative by construction (RTO and interval clamps).
+        """
         self.stop()
-        self._handle = self.sim.schedule(delay, self._fire)
+        self._handle = self.sim.call_later(delay, self._fire)
 
     def start_if_idle(self, delay: float) -> None:
         """Arm only when not already running (retransmit-timer semantics)."""

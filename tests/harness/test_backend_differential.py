@@ -1,0 +1,54 @@
+"""Scheduler-backend differential over full grids.
+
+The determinism contract says the timing-wheel and heap-only backends
+dispatch identically, so every *result* — not just event ordering — must
+be bit-identical: same cell keys, same canonical record JSON, for a full
+Table 1 grid and a full Figure 5 sweep.
+"""
+
+import hashlib
+
+import pytest
+
+import repro.harness.experiments  # noqa: F401 — registers the specs
+from repro.harness.executor import run_experiment
+from repro.harness.experiments import QUICK_SCALE
+from repro.harness.results import ResultStore, canonical_json, cell_key
+from repro.sim.scheduler import BACKEND_ENV, Scheduler
+
+
+def _run_grid(tmp_path, monkeypatch, backend, name, **options):
+    if backend == "heap":
+        monkeypatch.setenv(BACKEND_ENV, "heap")
+    else:
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+    assert (Scheduler()._wheel is None) == (backend == "heap")
+    store = ResultStore(tmp_path / f"{name}_{backend}.jsonl")
+    result = run_experiment(name, scale=QUICK_SCALE, jobs=1, store=store, **options)
+    assert result.grid.executed == len(result.cells)  # nothing cached
+    keyed = {
+        cell_key(cell): canonical_json(record)
+        for cell, record in zip(result.cells, result.grid.records)
+    }
+    digest = hashlib.sha256(
+        canonical_json(sorted(keyed.items())).encode()
+    ).hexdigest()
+    return keyed, digest
+
+
+@pytest.mark.parametrize(
+    "name, options",
+    [
+        ("table1", {"base_seed": 100}),
+        ("figure5", {"application": "echo", "base_seed": 100}),
+    ],
+)
+def test_backends_produce_identical_result_store_content(
+    tmp_path, monkeypatch, name, options
+):
+    wheel_keyed, wheel_digest = _run_grid(tmp_path, monkeypatch, "wheel", name, **options)
+    heap_keyed, heap_digest = _run_grid(tmp_path, monkeypatch, "heap", name, **options)
+    assert wheel_keyed.keys() == heap_keyed.keys()
+    for key in wheel_keyed:
+        assert wheel_keyed[key] == heap_keyed[key]
+    assert wheel_digest == heap_digest

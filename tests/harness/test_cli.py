@@ -1,5 +1,7 @@
 """Tests for the experiment CLI and record exports."""
 
+import json
+
 import pytest
 
 from repro.harness.cli import build_parser, main
@@ -40,6 +42,17 @@ def test_table1_command_with_exports(tmp_path, capsys, monkeypatch):
     assert records[0]["config"] == "Standard TCP"
     header = csv_path.read_text().splitlines()[0]
     assert "config" in header
+
+
+def test_profile_flag_writes_report_next_to_store(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "1.0")
+    store = tmp_path / "results.jsonl"
+    assert main(["table1", "--quick", "--store", str(store), "--profile"]) == 0
+    report_path = tmp_path / "profile_table1.json"
+    report = json.loads(report_path.read_text())
+    assert report["samples"] >= 0
+    assert "layers" in report
+    assert "profile:" in capsys.readouterr().err
 
 
 def test_figure5_command(capsys, monkeypatch):

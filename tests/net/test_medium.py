@@ -152,3 +152,53 @@ def test_hub_detach_stops_delivery():
     att_a.send(make_frame())
     sim.run()
     assert b.received == []
+
+
+class DetachingSink(Sink):
+    """Detaches itself from inside its first receive callback."""
+
+    def attached_to(self, attachment):
+        self.attachment = attachment
+
+    def receive_frame(self, frame):
+        super().receive_frame(frame)
+        if self.attachment.attached:
+            self.attachment.detach()
+
+
+def test_hub_detach_during_fanout_keeps_inflight_frames():
+    sim = Simulator()
+    hub = Hub(sim, rate_bps=mbps(100))
+    a, b, c = Sink(sim), DetachingSink(sim), Sink(sim)
+    att_a = hub.attach(a)
+    hub.attach(b)
+    hub.attach(c)
+    # Both frames are on the wire before b's detach runs: the detach must
+    # not claw back deliveries the fanout already scheduled.
+    att_a.send(make_frame())
+    att_a.send(make_frame())
+    sim.run()
+    assert len(b.received) == 2
+    assert len(c.received) == 2
+    # After the detach, the cached fanout is rebuilt without b.
+    att_a.send(make_frame())
+    sim.run()
+    assert len(b.received) == 2
+    assert len(c.received) == 3
+    assert a.received == []  # never an echo to the sender
+
+
+def test_hub_attach_after_traffic_joins_fanout():
+    sim = Simulator()
+    hub = Hub(sim, rate_bps=mbps(100))
+    a, b = Sink(sim), Sink(sim)
+    att_a = hub.attach(a)
+    hub.attach(b)
+    att_a.send(make_frame())
+    sim.run()  # fanout snapshot built without the late joiner
+    late = Sink(sim)
+    hub.attach(late)
+    att_a.send(make_frame())
+    sim.run()
+    assert len(late.received) == 1
+    assert len(b.received) == 2

@@ -114,6 +114,33 @@ def test_any_of_requires_events(sim):
         sim.any_of([])
 
 
+def test_any_of_reports_index_of_middle_event(sim):
+    events = [sim.event(), sim.event(), sim.event()]
+    combined = sim.any_of(events)
+    events[1].succeed("mid")
+    assert combined.value == (1, events[1])
+
+
+def test_any_of_unsubscribes_losers(sim):
+    events = [sim.event(), sim.event(), sim.event()]
+    combined = sim.any_of(events)
+    events[2].succeed("winner")
+    # The losers' callbacks were discarded, so triggering them later
+    # neither re-triggers the combinator nor raises.
+    assert all(event._callbacks == [] for event in events)
+    events[0].succeed("late")
+    assert combined.value == (2, events[2])
+
+
+def test_any_of_duplicate_event_wins_lowest_index(sim):
+    shared = sim.event()
+    combined = sim.any_of([shared, shared])
+    shared.succeed("once")
+    index, winner = combined.value
+    assert winner is shared
+    assert index == 0
+
+
 def test_all_of_collects_values_in_order(sim):
     first = sim.timeout(2.0, "a")
     second = sim.timeout(1.0, "b")

@@ -89,13 +89,30 @@ def test_removing_wildcard_sink_restores_filter():
     filtered = RecordingSink()
     tracer.add_sink(filtered, categories=["tcp"])
     tracer.add_sink(wildcard)
-    tracer.emit(0.0, "ip", "drop")  # wildcard sink sees everything
+    tracer.emit(0.0, "ip", "drop")  # only the wildcard sink sees this
     assert [r.category for r in wildcard.records] == ["ip"]
+    assert filtered.records == []
     tracer.remove_sink(wildcard)
     tracer.emit(0.0, "ip", "drop")  # filter is tight again
     tracer.emit(0.0, "tcp", "send")
-    assert [r.category for r in filtered.records] == ["ip", "tcp"]
+    assert [r.category for r in filtered.records] == ["tcp"]
     assert tracer.enabled
+
+
+def test_two_differently_filtered_sinks_stay_isolated():
+    # Regression: the union fast-path filter must not leak one sink's
+    # categories into another — a ["tcp"] sink used to receive "link"
+    # records whenever any other sink subscribed to them.
+    tracer = Tracer()
+    tcp_sink = RecordingSink()
+    link_sink = RecordingSink()
+    tracer.add_sink(tcp_sink, categories=["tcp"])
+    tracer.add_sink(link_sink, categories=["link"])
+    tracer.emit(0.0, "link", "drop")
+    tracer.emit(0.0, "tcp", "send")
+    tracer.emit(0.0, "nic", "rx_loss")  # matches neither sink
+    assert [r.category for r in tcp_sink.records] == ["tcp"]
+    assert [r.category for r in link_sink.records] == ["link"]
 
 
 def test_remove_unknown_sink_is_noop():

@@ -161,21 +161,34 @@ def test_run_next_before_skips_cancelled_prefix():
     assert not scheduler.run_next_before(10.0)  # queue now empty
 
 
-def test_gc_threshold_shrinks_after_compaction():
-    scheduler = Scheduler()
+def test_heap_compacts_on_dead_fraction():
+    # Force the heap backend so compaction (a heap-only concern) is hit.
+    scheduler = Scheduler(wheel=False)
     base = Scheduler.GC_BASE_THRESHOLD
-    # Grow past the trigger with mostly-live entries so the threshold rises.
-    handles = [scheduler.schedule_at(1.0 + i, lambda: None) for i in range(base + 1)]
-    assert scheduler._gc_threshold > base
-    # Now cancel everything and fill up to the raised threshold with
-    # dead entries; the next push triggers a compaction.
-    for handle in handles:
+    total = base + 2
+    handles = [scheduler.schedule_at(1.0 + i, lambda: None) for i in range(total)]
+    assert len(scheduler._heap) == total
+    # Cancelling just under half leaves the heap uncompacted (dead
+    # fraction below one half)...
+    for handle in handles[: total // 2 - 1]:
         handle.cancel()
-    for _ in range(scheduler._gc_threshold - len(scheduler._heap)):
-        scheduler.schedule_at(10.0, lambda: None).cancel()
-    scheduler.schedule_at(10.0, lambda: None)
-    assert scheduler.pending_count == 1
-    assert len(scheduler._heap) == 1
-    # After compacting, the threshold is back at the base instead of
-    # being pinned at the burst-era high-water mark.
-    assert scheduler._gc_threshold == base
+    assert len(scheduler._heap) == total
+    # ...one more cancellation tips the fraction and triggers the rebuild.
+    handles[total // 2].cancel()
+    assert len(scheduler._heap) == scheduler.pending_count == total // 2
+    scheduler.run_until()
+    assert scheduler.executed_count == total // 2
+
+
+def test_pending_count_is_live_entries_only():
+    scheduler = Scheduler()
+    # Mix near-band (wheel) and far (heap) events, then cancel across both.
+    near = [scheduler.schedule_at(0.001 * i, lambda: None) for i in range(10)]
+    far = [scheduler.schedule_at(10_000.0 + i, lambda: None) for i in range(10)]
+    assert scheduler.pending_count == 20
+    near[0].cancel()
+    far[0].cancel()
+    far[0].cancel()  # idempotent: no double decrement
+    assert scheduler.pending_count == 18
+    scheduler.run_until(until=1.0)
+    assert scheduler.pending_count == 9

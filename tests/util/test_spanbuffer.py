@@ -94,6 +94,58 @@ def test_empty_append_ignored():
     assert len(buffer) == 0
 
 
+def test_peek_absolute_straddles_piece_boundaries():
+    buffer = SpanBuffer()
+    buffer.append(b"abc")
+    buffer.append(b"defg")
+    buffer.append(b"hi")
+    # One slice spanning all three pieces, offset into the first and last.
+    assert buffer.peek_absolute(2, 8).to_bytes() == b"cdefgh"
+    buffer.pop_front(4)  # head now at 4, first remaining piece is "efg"
+    assert buffer.peek_absolute(5, 8).to_bytes() == b"fgh"
+    assert len(buffer) == 5  # peek does not consume
+
+
+def test_peek_absolute_empty_range_at_tail():
+    buffer = SpanBuffer()
+    buffer.append(b"abcd")
+    buffer.discard_front(1)
+    tail = buffer.tail_offset
+    assert buffer.peek_absolute(tail, tail).to_bytes() == b""
+    assert buffer.peek_absolute(buffer.head_offset, buffer.head_offset).to_bytes() == b""
+    with pytest.raises(IndexError):
+        buffer.peek_absolute(tail, tail + 1)
+    with pytest.raises(IndexError):
+        buffer.peek_absolute(tail, tail - 1)  # start > stop
+
+
+def test_clear_then_reappend_keeps_absolute_addressing():
+    buffer = SpanBuffer()
+    buffer.append(b"abcdef")
+    buffer.pop_front(2)
+    buffer.clear()
+    assert buffer.head_offset == 6
+    buffer.append(b"XY")
+    buffer.append(b"Z")
+    assert buffer.tail_offset == 9
+    assert buffer.peek_absolute(6, 9).to_bytes() == b"XYZ"
+    with pytest.raises(IndexError):
+        buffer.peek_absolute(5, 7)  # pre-clear offsets are gone
+    assert buffer.pop_front(3).to_bytes() == b"XYZ"
+    assert buffer.head_offset == 9
+
+
+def test_pop_front_exactly_at_piece_boundary():
+    buffer = SpanBuffer()
+    buffer.append(b"abc")
+    buffer.append(b"def")
+    assert buffer.pop_front(3).to_bytes() == b"abc"
+    assert buffer.head_offset == 3
+    assert buffer.peek_absolute(3, 6).to_bytes() == b"def"
+    assert buffer.pop_front(0).to_bytes() == b""
+    assert buffer.head_offset == 3
+
+
 @given(st.lists(st.binary(min_size=1, max_size=20), max_size=20), st.data())
 def test_prop_buffer_behaves_like_bytestring(pieces, data):
     """The buffer must behave exactly like a byte string with a moving
