@@ -1,0 +1,53 @@
+"""Drill-harness throughput: scripts/sec over a fixed fast subset.
+
+Tracks the cost of the conformance harness itself (topology build, the
+scripted peer, post-hoc matching) so drill-corpus growth stays cheap.
+CI feeds the JSON to ``check_perf_regression.py`` via the
+``events_per_sec`` figure, like the sim-kernel benchmarks.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.drill import load_script, run_drill_file
+from repro.drill.runner import run_program
+
+SCRIPTS_DIR = Path(__file__).parent.parent / "tests" / "drill" / "scripts"
+
+#: A fast, behaviour-diverse subset (handshake, dup-ACK path, teardown).
+SUBSET = [
+    "t01_handshake_3way.py",
+    "t14_out_of_order_immediate_ack.py",
+    "t16_fin_passive_close.py",
+]
+
+
+def test_drill_subset_throughput(benchmark):
+    paths = [SCRIPTS_DIR / name for name in SUBSET]
+
+    def run_subset():
+        events = 0
+        for path in paths:
+            result, env = run_program(load_script(path))
+            assert result.passed, result.failure
+            events += env.sim.events_executed
+        return events
+
+    events = benchmark.pedantic(run_subset, rounds=5, iterations=1)
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info["events_per_sec"] = round(events / mean)
+    benchmark.extra_info["scripts_per_sec"] = round(len(SUBSET) / mean, 2)
+
+
+def test_drill_single_script_runs(benchmark):
+    """End-to-end latency of one drill via the public entry point."""
+
+    def run_one():
+        return run_drill_file(SCRIPTS_DIR / "t01_handshake_3way.py")
+
+    result = benchmark.pedantic(run_one, rounds=5, iterations=1)
+    assert result.passed
+    benchmark.extra_info["scripts_per_sec"] = round(
+        1.0 / benchmark.stats.stats.mean, 2
+    )

@@ -1,0 +1,26 @@
+"""repro.drill — packetdrill-style scripted conformance testing.
+
+A drill script drives one host's TCP (or ST-TCP) stack through a scripted
+wire peer: ``inject(t, tcp("S", seq=0))`` crafts a raw segment on the
+medium, ``expect(t, tcp("SA", ack=1))`` pattern-matches what the stack
+emits, with field wildcards, time tolerances and first-mismatch
+diagnostics.  See docs/DRILL.md for the DSL reference.
+"""
+
+from repro.drill.patterns import ANY, SegmentSpec, tcp
+from repro.drill.report import DrillResult, format_report, results_to_json
+from repro.drill.runner import run_drill_file, run_drill_path
+from repro.drill.script import DrillProgram, load_script
+
+__all__ = [
+    "ANY",
+    "DrillProgram",
+    "DrillResult",
+    "SegmentSpec",
+    "format_report",
+    "load_script",
+    "results_to_json",
+    "run_drill_file",
+    "run_drill_path",
+    "tcp",
+]

@@ -1,0 +1,204 @@
+"""Segment patterns: the ``tcp(...)`` spec builder and the field matcher.
+
+A :class:`SegmentSpec` plays two roles, exactly as in packetdrill:
+
+* under ``inject()`` it is a *template* — unset fields get sensible
+  defaults (next peer sequence number, window 65535) and the segment is
+  built concretely;
+* under ``expect()`` it is a *pattern* — unset fields are wildcards, set
+  fields must match, and :func:`mismatches` reports every differing field
+  with expected vs actual values for the first-mismatch diagnostic.
+
+Sequence and ack numbers in scripts are *relative* (SYN = 0, first data
+byte = 1), as in packetdrill; the runner supplies the translation to the
+stack's live ISNs via a :class:`SeqSpace`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.tcp.constants import (
+    FLAG_ACK,
+    FLAG_FIN,
+    FLAG_PSH,
+    FLAG_RST,
+    FLAG_SYN,
+    SEQ_MASK,
+)
+from repro.tcp.segment import TCPSegment
+from repro.util.bytespan import ByteSpan
+
+
+class _Any:
+    """Wildcard sentinel: the field must be present but may hold any value."""
+
+    def __repr__(self) -> str:
+        return "ANY"
+
+
+ANY = _Any()
+
+_FLAG_BITS = {"S": FLAG_SYN, "F": FLAG_FIN, "R": FLAG_RST, "P": FLAG_PSH, "A": FLAG_ACK}
+
+
+def parse_flags(text: str) -> int:
+    """``"SA"`` -> FLAG_SYN|FLAG_ACK; ``"."`` means no flags."""
+    if text == ".":
+        return 0
+    value = 0
+    for char in text:
+        try:
+            value |= _FLAG_BITS[char]
+        except KeyError:
+            raise ValueError(f"unknown TCP flag {char!r} in {text!r}") from None
+    return value
+
+
+class SeqSpace:
+    """Relative<->absolute sequence translation for one drill run.
+
+    ``local_isn`` anchors the peer's own stream (the drill convention pins
+    it to 0 so injected numbers are used as-is); ``remote_isn`` is learned
+    from the first SYN the host under test emits.
+    """
+
+    def __init__(self, local_isn: int = 0) -> None:
+        self.local_isn = local_isn
+        self.remote_isn: Optional[int] = None
+
+    def learn_remote(self, isn: int) -> None:
+        if self.remote_isn is None:
+            self.remote_isn = isn
+
+    def abs_local(self, relative: int) -> int:
+        return (self.local_isn + relative) & SEQ_MASK
+
+    def abs_remote(self, relative: int) -> int:
+        return ((self.remote_isn or 0) + relative) & SEQ_MASK
+
+    def rel_local(self, absolute: int) -> int:
+        return _fold((absolute - self.local_isn) & SEQ_MASK)
+
+    def rel_remote(self, absolute: int) -> int:
+        return _fold((absolute - (self.remote_isn or 0)) & SEQ_MASK)
+
+
+def _fold(delta: int) -> int:
+    """Fold a 32-bit offset into a signed window for readable diffs."""
+    return delta - (1 << 32) if delta > (1 << 31) else delta
+
+
+Field = Union[int, str, _Any, None]
+
+
+class SegmentSpec:
+    """A TCP segment template/pattern built by :func:`tcp`."""
+
+    __slots__ = ("flags", "seq", "ack", "win", "length", "payload", "mss", "sport", "dport")
+
+    def __init__(
+        self,
+        flags: Union[str, _Any],
+        seq: Field = None,
+        ack: Field = None,
+        win: Field = None,
+        length: Field = None,
+        payload: Optional[ByteSpan] = None,
+        mss: Field = None,
+        sport: Field = None,
+        dport: Field = None,
+    ) -> None:
+        self.flags = flags
+        self.seq = seq
+        self.ack = ack
+        self.win = win
+        self.length = length
+        self.payload = payload
+        self.mss = mss
+        self.sport = sport
+        self.dport = dport
+
+    # Matching --------------------------------------------------------------
+    def mismatches(self, segment: TCPSegment, space: SeqSpace) -> List[Tuple[str, str, str]]:
+        """Every differing field as ``(name, expected, actual)``.
+
+        The captured segment was emitted by the host under test, so its
+        ``seq`` lives in the remote stream and its ``ack`` in the peer's.
+        """
+        diffs: List[Tuple[str, str, str]] = []
+
+        def check(name: str, expected: Field, actual: Union[int, str]) -> None:
+            if expected is None or expected is ANY:
+                return
+            if expected != actual:
+                diffs.append((name, str(expected), str(actual)))
+
+        if self.flags is not ANY:
+            want = "".join(sorted(str(self.flags).replace(".", "")))
+            got = "".join(sorted(segment.flag_string().replace(".", "")))
+            if want != got:
+                diffs.append(("flags", str(self.flags), segment.flag_string()))
+        check("seq", self.seq, space.rel_remote(segment.seq))
+        if self.ack is not None and self.ack is not ANY and not segment.is_ack:
+            diffs.append(("ack", str(self.ack), "(no ACK flag)"))
+        elif segment.is_ack:
+            check("ack", self.ack, space.rel_local(segment.ack))
+        check("win", self.win, segment.window)
+        check("len", self.length, segment.payload_length)
+        if self.mss is ANY:  # ANY on mss still requires the option's presence
+            if segment.mss_option is None:
+                diffs.append(("mss", "ANY", "(absent)"))
+        else:
+            check("mss", self.mss, segment.mss_option if segment.mss_option is not None else "(absent)")
+        check("sport", self.sport, segment.src_port)
+        check("dport", self.dport, segment.dst_port)
+        if self.payload is not None and self.payload is not ANY:
+            if segment.payload != self.payload:
+                diffs.append(
+                    ("payload", f"{len(self.payload)} expected bytes", f"{segment.payload_length} bytes differ")
+                )
+        return diffs
+
+    def matches(self, segment: TCPSegment, space: SeqSpace) -> bool:
+        return not self.mismatches(segment, space)
+
+    def describe(self) -> str:
+        """Human rendering in the canonical field order, ``*`` = wildcard."""
+        def show(value: Field) -> str:
+            return "*" if value is None or value is ANY else str(value)
+
+        parts = [str(self.flags) if self.flags is not ANY else "*"]
+        parts.append(f"seq {show(self.seq)}")
+        parts.append(f"ack {show(self.ack)}")
+        parts.append(f"win {show(self.win)}")
+        parts.append(f"len {show(self.length)}")
+        if self.mss is not None:
+            parts.append(f"mss {show(self.mss)}")
+        if self.dport is not None:
+            parts.append(f"dport {show(self.dport)}")
+        return " ".join(parts)
+
+
+def tcp(
+    flags: Union[str, _Any] = ANY,
+    seq: Field = None,
+    ack: Field = None,
+    win: Field = None,
+    length: Field = None,
+    payload: Optional[ByteSpan] = None,
+    mss: Field = None,
+    sport: Field = None,
+    dport: Field = None,
+) -> SegmentSpec:
+    """Build a segment template (inject) / pattern (expect).
+
+    ``flags`` uses the canonical letters ``S F R P A`` (``"."`` for none);
+    comparison is order-insensitive.  ``seq``/``ack`` are relative stream
+    offsets (SYN = 0).  Unset fields are wildcards under ``expect`` and
+    defaults under ``inject``.
+    """
+    return SegmentSpec(
+        flags, seq=seq, ack=ack, win=win, length=length, payload=payload,
+        mss=mss, sport=sport, dport=dport,
+    )

@@ -1,0 +1,167 @@
+"""The scripted wire peer: a remote endpoint that is pure script.
+
+A :class:`DrillPeer` attaches to the medium like a NIC but runs no stack:
+it crafts raw segments on ``inject()`` and records every TCP segment the
+host under test addresses to it, timestamped, for post-hoc expectation
+matching.  It also keeps a full wire log (everything heard on the medium)
+for failure-context rendering and pcap export.
+
+Sequence bookkeeping follows the packetdrill convention: the peer's own
+ISN is pinned to 0, so script-relative numbers are the peer's absolute
+ones; the host's ISN is learned from the first SYN it emits and all
+expected/injected numbers in the host's stream are rebased onto it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.drill.patterns import ANY, SegmentSpec, SeqSpace, parse_flags
+from repro.ip.datagram import PROTO_TCP, IPDatagram
+from repro.net.addresses import IPAddress, MACAddress
+from repro.net.arp import ARP_MESSAGE_SIZE, ARP_REPLY, ARP_REQUEST, ArpMessage
+from repro.net.frame import ETHERTYPE_ARP, ETHERTYPE_IPV4, EthernetFrame
+from repro.net.medium import Attachment, FrameReceiver
+from repro.tcp.constants import FLAG_ACK
+from repro.tcp.segment import TCPSegment
+from repro.util.bytespan import EMPTY, ByteSpan
+
+#: Default advertised window of the scripted peer.
+DEFAULT_PEER_WINDOW = 65535
+
+
+class CapturedSegment:
+    """One TCP segment the host under test sent to the peer.
+
+    ``space`` freezes the sequence translation as of capture time: a RST
+    emitted before any SYN was seen keeps absolute numbers even if a later
+    handshake teaches the peer an ISN.
+    """
+
+    __slots__ = ("time", "segment", "src_ip", "dst_ip", "space")
+
+    def __init__(
+        self,
+        time: float,
+        segment: TCPSegment,
+        src_ip: IPAddress,
+        dst_ip: IPAddress,
+        space: SeqSpace,
+    ) -> None:
+        self.time = time
+        self.segment = segment
+        self.src_ip = src_ip
+        self.dst_ip = dst_ip
+        self.space = space
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Captured t={self.time:.6f} {self.segment.summary()}>"
+
+
+class DrillPeer(FrameReceiver):
+    """A scripted remote TCP endpoint sitting directly on the wire."""
+
+    def __init__(
+        self,
+        sim: Any,
+        ip: IPAddress,
+        mac: MACAddress,
+        port: int,
+        remote_ip: IPAddress,
+        remote_port: int,
+    ) -> None:
+        self.sim = sim
+        self.ip = ip
+        self.mac = mac
+        self.port = port
+        self.remote_ip = remote_ip
+        self.remote_port = remote_port
+        self.remote_mac: Optional[MACAddress] = None  # set by the runner
+        self.space = SeqSpace(local_isn=0)
+        self.snd_nxt = 0  # next relative sequence number to inject
+        self.captured: List[CapturedSegment] = []
+        self.wire_log: List[Tuple[float, EthernetFrame]] = []
+        self.injected = 0
+        self._attachment: Optional[Attachment] = None
+
+    # Medium protocol -------------------------------------------------------
+    def attached_to(self, attachment: Attachment) -> None:
+        self._attachment = attachment
+
+    def receive_frame(self, frame: EthernetFrame) -> None:
+        self.wire_log.append((self.sim.now, frame))
+        if frame.ethertype == ETHERTYPE_ARP:
+            self._maybe_answer_arp(frame.payload)
+            return
+        if frame.ethertype != ETHERTYPE_IPV4:
+            return
+        datagram: IPDatagram = frame.payload
+        if datagram.protocol != PROTO_TCP or datagram.dst != self.ip:
+            return
+        segment: TCPSegment = datagram.payload
+        if segment.dst_port != self.port:
+            return
+        if segment.is_syn:
+            self.space.learn_remote(segment.seq)
+        snapshot = SeqSpace(local_isn=self.space.local_isn)
+        snapshot.remote_isn = self.space.remote_isn
+        self.captured.append(
+            CapturedSegment(self.sim.now, segment, datagram.src, datagram.dst, snapshot)
+        )
+
+    def _maybe_answer_arp(self, message: ArpMessage) -> None:
+        if message.op != ARP_REQUEST or message.target_ip != self.ip:
+            return
+        reply = ArpMessage(ARP_REPLY, self.ip, self.mac, message.sender_ip, message.sender_mac)
+        frame = EthernetFrame(
+            message.sender_mac, self.mac, ETHERTYPE_ARP, reply, ARP_MESSAGE_SIZE
+        )
+        if self._attachment is not None:
+            self._attachment.send(frame)
+
+    # Injection -------------------------------------------------------------
+    def inject(self, spec: SegmentSpec) -> TCPSegment:
+        """Craft a raw segment from a template and put it on the wire."""
+        if self._attachment is None:
+            raise RuntimeError("drill peer is not attached to a medium")
+        flags = parse_flags(str(spec.flags)) if spec.flags is not ANY else 0
+        payload: ByteSpan = spec.payload if spec.payload is not None else EMPTY
+        seq_rel = spec.seq if isinstance(spec.seq, int) else self.snd_nxt
+        window = spec.win if isinstance(spec.win, int) else DEFAULT_PEER_WINDOW
+        ack_abs = 0
+        if isinstance(spec.ack, int):
+            ack_abs = self.space.abs_remote(spec.ack)
+            flags |= FLAG_ACK
+        segment = TCPSegment(
+            spec.sport if isinstance(spec.sport, int) else self.port,
+            spec.dport if isinstance(spec.dport, int) else self.remote_port,
+            self.space.abs_local(seq_rel),
+            ack_abs,
+            flags,
+            window,
+            payload,
+            mss_option=spec.mss if isinstance(spec.mss, int) else None,
+        )
+        advance = segment.sequence_space_length
+        self.snd_nxt = max(self.snd_nxt, seq_rel + advance)
+        datagram = IPDatagram(self.ip, self.remote_ip, PROTO_TCP, segment, segment.size)
+        frame = EthernetFrame(
+            self.remote_mac, self.mac, ETHERTYPE_IPV4, datagram, datagram.size
+        )
+        self._attachment.send(frame)
+        self.injected += 1
+        return segment
+
+    # Rendering helpers -----------------------------------------------------
+    def render_captured(self, item: CapturedSegment) -> str:
+        """Canonical rendering of a captured segment in script coordinates."""
+        return item.segment.summary(
+            seq_base=item.space.remote_isn or 0, ack_base=item.space.local_isn
+        )
+
+    def recent_context(self, before: float, lines: int = 8) -> List[str]:
+        """The last wire-log lines at or before ``before`` (tcpdump style)."""
+        from repro.net.tcpdump import format_frame
+
+        selected = [(t, f) for t, f in self.wire_log if t <= before + 1e-9]
+        return [f"{t:.6f} {format_frame(f)}" for t, f in selected[-lines:]]

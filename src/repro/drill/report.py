@@ -1,0 +1,75 @@
+"""Drill results and the per-script pass/fail table.
+
+The report is a pure function of simulated behaviour — no wall-clock
+times, no object ids — so two runs of a deterministic corpus produce
+byte-identical tables (the property CI asserts).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+
+class DrillResult:
+    """Outcome of one drill script."""
+
+    __slots__ = ("name", "passed", "expects", "probes", "injects", "sim_time", "failure")
+
+    def __init__(
+        self,
+        name: str,
+        passed: bool,
+        expects: int,
+        probes: int,
+        injects: int,
+        sim_time: float,
+        failure: Optional[str] = None,
+    ) -> None:
+        self.name = name
+        self.passed = passed
+        self.expects = expects
+        self.probes = probes
+        self.injects = injects
+        self.sim_time = sim_time
+        self.failure = failure
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "passed": self.passed,
+            "expects": self.expects,
+            "probes": self.probes,
+            "injects": self.injects,
+            "sim_time": round(self.sim_time, 6),
+            "failure": self.failure,
+        }
+
+
+def format_report(results: List[DrillResult]) -> str:
+    """The per-script result table (deterministic; no wall-clock data)."""
+    header = f"{'script':<34} {'result':<6} {'expects':>7} {'probes':>6} {'injects':>7} {'sim_s':>8}"
+    rule = "-" * len(header)
+    lines = [header, rule]
+    for result in results:
+        status = "PASS" if result.passed else "FAIL"
+        lines.append(
+            f"{result.name:<34} {status:<6} {result.expects:>7} "
+            f"{result.probes:>6} {result.injects:>7} {result.sim_time:>8.3f}"
+        )
+    passed = sum(1 for r in results if r.passed)
+    lines.append(rule)
+    lines.append(f"{passed}/{len(results)} scripts passed")
+    return "\n".join(lines)
+
+
+def format_failures(results: List[DrillResult]) -> str:
+    """Full first-mismatch diagnostics for every failing script."""
+    blocks = []
+    for result in results:
+        if not result.passed and result.failure:
+            blocks.append(f"=== {result.name} ===\n{result.failure}")
+    return "\n\n".join(blocks)
+
+
+def results_to_json(results: List[DrillResult]) -> List[Dict[str, Any]]:
+    return [result.to_dict() for result in results]

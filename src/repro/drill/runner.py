@@ -1,0 +1,405 @@
+"""Drill execution: build a topology, run the timeline, match post-hoc.
+
+Each script gets a fresh :class:`~repro.sim.simulator.Simulator` seeded
+from its settings (default: a stable hash of the script name), so a drill
+is bit-deterministic run to run — the corpus report is byte-identical
+across invocations, which CI asserts.
+
+Modes:
+
+* ``server`` — the host under test listens; the peer plays client.
+* ``client`` — the host under test connects (``sock_connect``); the peer
+  plays server.
+* ``sttcp``  — a full primary/backup pair on a hub (the paper's §6
+  topology) with the peer as the client; ``fault(t, "primary_crash")``
+  and the ``expect_shadow``/``expect_takeover`` probes target it.
+"""
+
+from __future__ import annotations
+
+import traceback
+import zlib
+from pathlib import Path
+from typing import Any, Callable, List, Optional, Tuple, Union
+
+from repro.drill.patterns import SegmentSpec
+from repro.drill.peer import CapturedSegment, DrillPeer
+from repro.drill.report import DrillResult
+from repro.drill.script import DRILL_WRITE_PATTERN, DrillProgram, Op, load_script
+from repro.faults.injection import CrashInjector, apply_drill_fault
+from repro.host.host import Host
+from repro.net.addresses import IPAddress, fresh_unicast_mac, ip
+from repro.net.medium import Hub
+from repro.sim.simulator import Simulator
+from repro.tcp.config import TCPConfig
+from repro.util.bytespan import ByteSpan, PatternBytes, RealBytes
+
+# Drill address plan (mirrors the harness scenario's LAN).
+HUT_IP = ip("10.0.0.1")
+BACKUP_IP = ip("10.0.0.2")
+SERVICE_IP = ip("10.0.0.100")
+PEER_IP = ip("10.0.0.99")
+
+DEFAULT_PORT = 8000
+DEFAULT_PEER_PORT = 46000
+DEFAULT_LOCAL_PORT = 40000
+
+#: Drill links are fast and near-instant so protocol timers dominate:
+#: 1 Gb/s with 1 µs propagation keeps wire time ~3 µs per segment,
+#: negligible against the default 5 ms expectation tolerance.
+LINK_RATE_BPS = 1_000_000_000
+LINK_DELAY = 1e-6
+
+
+class CheckFailure:
+    """A live probe or socket call that failed during the run."""
+
+    __slots__ = ("time", "label", "message")
+
+    def __init__(self, time: float, label: str, message: str) -> None:
+        self.time = time
+        self.label = label
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.label} at t={self.time:.6f}: {self.message}"
+
+
+class DrillEnv:
+    """Everything one drill run owns: topology, peer, tracked state."""
+
+    def __init__(self, program: DrillProgram) -> None:
+        settings = program.settings
+        self.program = program
+        self.mode = settings.get("mode", "server")
+        if self.mode not in ("server", "client", "sttcp"):
+            raise ValueError(f"unknown drill mode {self.mode!r}")
+        seed = settings.get("seed")
+        if seed is None:
+            seed = zlib.crc32(program.name.encode()) & 0x7FFFFFFF
+        self.sim = Simulator(seed=seed)
+        self.crash_injector = CrashInjector(self.sim)
+        self.hub = Hub(self.sim, LINK_RATE_BPS, delay=LINK_DELAY)
+        self.tcp_config = TCPConfig().copy(**settings.get("tcp", {}))
+        self.port = int(settings.get("port", DEFAULT_PORT))
+        self.tracked: List[Any] = []  # TCBs of the host under test
+        self.check_failures: List[CheckFailure] = []
+        self.app_sent = 0  # cumulative sock_write bytes (pattern offsets)
+        self.app_read_bytes = 0
+        self.pair = None
+        self.primary: Optional[Host] = None
+        self.backup: Optional[Host] = None
+        self.tap_nic = None
+        self.sttcp_config = None
+        if self.mode == "sttcp":
+            self._build_sttcp(settings)
+        else:
+            self._build_single(settings)
+
+    # -- topologies ---------------------------------------------------------
+    def _attach_peer(self, remote_ip: IPAddress, remote_port: int, hut_hosts: List[Host]) -> None:
+        peer_port = int(self.program.settings.get("peer_port", DEFAULT_PEER_PORT))
+        self.peer = DrillPeer(
+            self.sim, PEER_IP, fresh_unicast_mac(), peer_port, remote_ip, remote_port
+        )
+        self.hub.attach(self.peer)
+        # Static ARP both ways: drills script TCP, not address resolution.
+        for host in hut_hosts:
+            host.arp.add_static(PEER_IP, self.peer.mac)
+
+    def _build_single(self, settings: dict) -> None:
+        self.hut = Host(self.sim, "hut", tcp_config=self.tcp_config)
+        nic = self.hut.add_nic()
+        self.hub.attach(nic)
+        self.hut.configure_ip(nic, HUT_IP, 24)
+        self.primary = self.hut
+        if self.mode == "server":
+            self._attach_peer(HUT_IP, self.port, [self.hut])
+            self.listener = self.hut.tcp.listen(self.port)
+            self.hut.tcp.connection_observers.append(self.tracked.append)
+        else:
+            # The peer injects toward the port the host will connect from.
+            local_port = int(settings.get("local_port", DEFAULT_LOCAL_PORT))
+            self._attach_peer(HUT_IP, local_port, [self.hut])
+        self.peer.remote_mac = nic.mac
+
+    def _build_sttcp(self, settings: dict) -> None:
+        from repro.sttcp.config import STTCPConfig
+        from repro.sttcp.manager import STTCPServerPair
+        from repro.sttcp.power_switch import PowerSwitch
+
+        self.sttcp_config = STTCPConfig(**settings.get("sttcp", {}))
+        self.primary = Host(self.sim, "primary", tcp_config=self.tcp_config)
+        self.backup = Host(self.sim, "backup", tcp_config=self.tcp_config)
+        primary_nic = self.primary.add_nic()
+        self.hub.attach(primary_nic)
+        self.primary.configure_ip(primary_nic, HUT_IP, 24)
+        self.primary.add_vnic("svi", SERVICE_IP, primary_nic.mac, primary_nic)
+        backup_nic = self.backup.add_nic()
+        backup_nic.promiscuous = True  # the hub tap
+        self.hub.attach(backup_nic)
+        self.backup.configure_ip(backup_nic, BACKUP_IP, 24)
+        self.backup.add_vnic("svi", SERVICE_IP, backup_nic.mac, backup_nic)
+        self.tap_nic = backup_nic
+        self.hut = self.primary
+        power_switch = PowerSwitch(self.sim, self.sttcp_config.stonith_delay)
+        self.pair = STTCPServerPair(
+            self.primary,
+            self.backup,
+            SERVICE_IP,
+            self.port,
+            config=self.sttcp_config,
+            power_switch=power_switch,
+        )
+        self._attach_peer(SERVICE_IP, self.port, [self.primary, self.backup])
+        self.peer.remote_mac = primary_nic.mac
+        self.primary.tcp.connection_observers.append(self.tracked.append)
+        self.pair.start_service()
+
+    # -- probe helpers (used by the script DSL) -----------------------------
+    def tcb(self) -> Optional[Any]:
+        return self.tracked[0] if self.tracked else None
+
+    def connection_state(self) -> str:
+        tcb = self.tcb()
+        return tcb.state.value if tcb is not None else "NONE"
+
+    def shadow_tcb(self) -> Optional[Any]:
+        if self.pair is None:
+            return None
+        shadows = self.pair.backup_engine.shadow_connections
+        return shadows[0] if shadows else None
+
+    def backup_role(self) -> str:
+        return self.pair.backup_engine.role if self.pair is not None else "none"
+
+    # -- op execution -------------------------------------------------------
+    def schedule(self, program: DrillProgram) -> None:
+        for op in program.ops:
+            if op.kind == "inject":
+                self.sim.schedule_at(op.time, self.peer.inject, op.spec)
+            elif op.kind == "sock":
+                self.sim.schedule_at(op.time, self._guard(op, self._sock_call), op)
+            elif op.kind == "probe":
+                self.sim.schedule_at(op.time, self._guard(op, op.action), self)
+            elif op.kind == "fault":
+                name, kwargs = op.args
+                apply_drill_fault(name, self, op.time, **kwargs)
+
+    def _guard(self, op: Op, fn: Callable) -> Callable:
+        def run(*args: Any) -> None:
+            try:
+                fn(*args)
+            except AssertionError as exc:
+                self.check_failures.append(CheckFailure(self.sim.now, op.label, str(exc)))
+
+        return run
+
+    def _sock_call(self, op: Op) -> None:
+        action, *args = op.args
+        if action == "connect":
+            assert self.mode == "client", "sock_connect is only valid in client mode"
+            local_port = int(self.program.settings.get("local_port", DEFAULT_LOCAL_PORT))
+            socket = self.hut.tcp.connect(
+                (self.peer.ip, self.peer.port), local_port=local_port
+            )
+            self.tracked.append(socket._tcb)
+            return
+        tcb = self.tcb()
+        assert tcb is not None, f"{op.label} before any connection exists"
+        if action == "write":
+            data = args[0]
+            span = self._to_span(data)
+            accepted = tcb.app_write(span)
+            self.app_sent += len(span)
+            assert accepted == len(span), (
+                f"send buffer accepted {accepted} of {len(span)} bytes"
+            )
+        elif action == "read":
+            span = tcb.app_read(args[0])
+            self.app_read_bytes += len(span)
+        elif action == "close":
+            tcb.app_close()
+        elif action == "abort":
+            tcb.app_abort()
+
+    def _to_span(self, data: Union[int, bytes, ByteSpan]) -> ByteSpan:
+        if isinstance(data, int):
+            return PatternBytes(data, self.app_sent, DRILL_WRITE_PATTERN)
+        if isinstance(data, bytes):
+            return RealBytes(data)
+        return data
+
+
+# ---------------------------------------------------------------------------
+# Expectation matching
+# ---------------------------------------------------------------------------
+
+
+def _render_spec(spec: SegmentSpec) -> str:
+    return spec.describe()
+
+
+def _match_expectations(program: DrillProgram, env: DrillEnv) -> Optional[str]:
+    """Match expect ops against the capture; first mismatch wins."""
+    peer = env.peer
+    captured = peer.captured
+    cursor = 0
+    expect_index = 0
+    for op in program.ops:
+        if op.kind == "expect":
+            expect_index += 1
+            tol = op.tolerance if op.tolerance is not None else program.tolerance
+            found = _find_match(op.spec, captured, cursor, op.time, tol, peer)
+            if found is None:
+                return _mismatch_report(
+                    f"expect #{expect_index}", op, tol, captured, cursor, env
+                )
+            cursor = found + 1
+        elif op.kind == "expect_unordered":
+            expect_index += 1
+            tol = op.tolerance if op.tolerance is not None else program.tolerance
+            found = _find_match(op.spec, captured, 0, op.time, tol, peer)
+            if found is None:
+                return _mismatch_report(
+                    f"expect_unordered #{expect_index}", op, tol, captured, 0, env
+                )
+        elif op.kind == "expect_no":
+            for item in captured:
+                if op.time - 1e-9 <= item.time <= op.until + 1e-9 and op.spec.matches(
+                    item.segment, item.space
+                ):
+                    context = "\n    ".join(peer.recent_context(item.time))
+                    return (
+                        f"expect_no [{op.time:.3f}, {op.until:.3f}] "
+                        f"{_render_spec(op.spec)}:\n"
+                        f"  forbidden segment at t={item.time:.6f}: "
+                        f"{peer.render_captured(item)}\n"
+                        f"  recent wire context:\n    {context}"
+                    )
+    return None
+
+
+def _find_match(
+    spec: SegmentSpec,
+    captured: List[CapturedSegment],
+    start: int,
+    time: float,
+    tol: float,
+    peer: DrillPeer,
+) -> Optional[int]:
+    for index in range(start, len(captured)):
+        item = captured[index]
+        if item.time > time + tol + 1e-9:
+            break
+        if item.time < time - tol - 1e-9:
+            continue
+        if spec.matches(item.segment, item.space):
+            return index
+    return None
+
+
+def _mismatch_report(
+    what: str,
+    op: Op,
+    tol: float,
+    captured: List[CapturedSegment],
+    cursor: int,
+    env: DrillEnv,
+) -> str:
+    """The first-mismatch diagnostic: field diff + late/early hints +
+    recent tcpdump context."""
+    peer = env.peer
+    header = f"{what} at t={op.time:.3f}±{tol:.3f}: {_render_spec(op.spec)}"
+    in_window = [
+        (i, item)
+        for i, item in enumerate(captured[cursor:], cursor)
+        if op.time - tol - 1e-9 <= item.time <= op.time + tol + 1e-9
+    ]
+    lines = [header]
+    if in_window:
+        best_index, best = min(
+            in_window, key=lambda pair: (len(op.spec.mismatches(pair[1].segment, pair[1].space)), pair[0])
+        )
+        diffs = op.spec.mismatches(best.segment, best.space)
+        lines.append(
+            f"  closest segment at t={best.time:.6f}: {peer.render_captured(best)}"
+        )
+        for field, expected, actual in diffs:
+            lines.append(f"    field {field}: expected {expected}, actual {actual}")
+    else:
+        lines.append("  no segment captured in the window")
+        late = next(
+            (
+                item
+                for item in captured[cursor:]
+                if item.time > op.time + tol and op.spec.matches(item.segment, item.space)
+            ),
+            None,
+        )
+        if late is not None:
+            lines.append(
+                f"  a matching segment arrived late at t={late.time:.6f}: "
+                f"{peer.render_captured(late)}"
+            )
+    context = peer.recent_context(op.time + tol)
+    if context:
+        lines.append("  recent wire context:")
+        lines.extend(f"    {line}" for line in context)
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def run_program(program: DrillProgram) -> Tuple[DrillResult, DrillEnv]:
+    env = DrillEnv(program)
+    env.schedule(program)
+    crash: Optional[str] = None
+    try:
+        env.sim.run(until=program.end_time)
+    except Exception:
+        # A stack that crashes mid-drill fails that drill — it must not
+        # abort the rest of the corpus.
+        crash = f"stack crashed during run:\n{traceback.format_exc()}"
+    failure = crash or _match_expectations(program, env)
+    if failure is None and env.check_failures:
+        failure = "\n".join(str(item) for item in env.check_failures)
+    expects = sum(1 for op in program.ops if op.kind.startswith("expect"))
+    probes = sum(1 for op in program.ops if op.kind == "probe")
+    result = DrillResult(
+        name=program.name,
+        passed=failure is None,
+        expects=expects,
+        probes=probes,
+        injects=env.peer.injected,
+        sim_time=program.end_time,
+        failure=failure,
+    )
+    return result, env
+
+
+def run_drill_file(path: Union[str, Path]) -> DrillResult:
+    """Load and run one drill script."""
+    result, _ = run_program(load_script(path))
+    return result
+
+
+def run_drill_path(path: Union[str, Path]) -> List[DrillResult]:
+    """Run one script, or every ``*.py`` under a directory (sorted)."""
+    path = Path(path)
+    if path.is_dir():
+        scripts = sorted(path.glob("*.py"))
+        if not scripts:
+            raise FileNotFoundError(f"no drill scripts under {path}")
+        return [run_drill_file(script) for script in scripts]
+    return [run_drill_file(path)]
+
+
+def write_failure_pcap(env: DrillEnv, path: Union[str, Path]) -> int:
+    """Dump the peer's full wire log as a pcap for post-mortem analysis."""
+    from repro.net.tcpdump import write_pcap
+
+    return write_pcap(str(path), env.peer.wire_log)

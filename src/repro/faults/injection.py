@@ -111,3 +111,78 @@ def clear_loss(medium_or_nic: Any) -> None:
         from repro.net.loss import NoLoss
 
         medium_or_nic.loss_model = NoLoss()
+
+
+# ---------------------------------------------------------------------------
+# Drill DSL binding: named faults a drill script arms with fault(t, name)
+# ---------------------------------------------------------------------------
+
+#: ``name -> applier(env, time, **kwargs)``; the env is a DrillEnv
+#: (repro.drill.runner) exposing sim, crash_injector, hub, the hosts and
+#: the sttcp config.  Appliers run at *arm* time and schedule their own
+#: effect at ``time``.
+DRILL_FAULTS: dict = {}
+
+
+def drill_fault(name: str):
+    """Register a named fault for the drill DSL."""
+
+    def register(fn):
+        DRILL_FAULTS[name] = fn
+        return fn
+
+    return register
+
+
+def apply_drill_fault(name: str, env: Any, time: float, **kwargs: Any) -> None:
+    try:
+        applier = DRILL_FAULTS[name]
+    except KeyError:
+        known = ", ".join(sorted(DRILL_FAULTS))
+        raise ValueError(f"unknown fault {name!r}; known faults: {known}") from None
+    applier(env, time, **kwargs)
+
+
+def _require(env: Any, attribute: str, fault: str) -> Any:
+    value = getattr(env, attribute, None)
+    if value is None:
+        raise ValueError(f"fault {fault!r} needs a topology with {attribute!r} (sttcp mode)")
+    return value
+
+
+@drill_fault("primary_crash")
+def _fault_primary_crash(env: Any, time: float) -> None:
+    env.crash_injector.crash_at(_require(env, "primary", "primary_crash"), time)
+
+
+@drill_fault("backup_crash")
+def _fault_backup_crash(env: Any, time: float) -> None:
+    env.crash_injector.crash_at(_require(env, "backup", "backup_crash"), time)
+
+
+@drill_fault("hut_crash")
+def _fault_hut_crash(env: Any, time: float) -> None:
+    env.crash_injector.crash_at(_require(env, "hut", "hut_crash"), time)
+
+
+@drill_fault("tap_outage")
+def _fault_tap_outage(env: Any, time: float, duration: float = 0.1) -> None:
+    add_tap_outage(_require(env, "tap_nic", "tap_outage"), time, time + duration)
+
+
+@drill_fault("tap_loss")
+def _fault_tap_loss(env: Any, time: float, rate: float = 0.1) -> None:
+    nic = _require(env, "tap_nic", "tap_loss")
+    rng = env.sim.random.stream("drill.tap_loss")
+    env.sim.schedule_at(time, add_tap_loss, nic, rng, rate)
+
+
+@drill_fault("channel_partition")
+def _fault_channel_partition(env: Any, time: float) -> None:
+    config = _require(env, "sttcp_config", "channel_partition")
+    env.sim.schedule_at(time, partition_channel, env.hub, config.channel_port)
+
+
+@drill_fault("channel_heal")
+def _fault_channel_heal(env: Any, time: float) -> None:
+    env.sim.schedule_at(time, clear_loss, env.hub)

@@ -222,6 +222,25 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_drill(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.drill import format_report, results_to_json, run_drill_path
+    from repro.drill.report import format_failures
+
+    results = run_drill_path(args.path)
+    print(format_report(results))
+    failures = format_failures(results)
+    if failures:
+        print()
+        print(failures)
+    if args.json:
+        with open(args.json, "w") as handle:
+            json_module.dump(results_to_json(results), handle, indent=2)
+        print(f"\nJSON report written to {args.json}")
+    return 0 if all(result.passed for result in results) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -284,6 +303,13 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--hb", type=float, default=0.05, help="heartbeat interval (s)")
     demo.add_argument("--seed", type=int, default=1)
     demo.set_defaults(fn=_cmd_demo)
+
+    drill = sub.add_parser(
+        "drill", help="run scripted conformance drills (a script or a directory)"
+    )
+    drill.add_argument("path", help="a drill script, or a directory of *.py scripts")
+    drill.add_argument("--json", metavar="PATH", help="write the result table as JSON")
+    drill.set_defaults(fn=_cmd_drill)
     return parser
 
 

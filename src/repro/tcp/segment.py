@@ -27,6 +27,14 @@ TIMESTAMP_OPTION_SIZE = 12
 _segment_ids = itertools.count(1)
 
 
+def _relative(value: int, base: int) -> int:
+    """Sequence number relative to ``base``, folded to a signed window."""
+    if not base:
+        return value
+    delta = (value - base) & SEQ_MASK
+    return delta - (1 << 32) if delta > (1 << 31) else delta
+
+
 class TCPSegment:
     """One TCP segment in flight."""
 
@@ -139,12 +147,26 @@ class TCPSegment:
             parts.append("A")
         return "".join(parts) or "."
 
+    def summary(self, seq_base: int = 0, ack_base: int = 0) -> str:
+        """Canonical one-line rendering: ``flags seq:end(len) ack win``.
+
+        This is *the* segment format — tcpdump output, drill mismatch
+        diagnostics and TCB traces all route through it so a segment reads
+        the same everywhere.  ``seq_base``/``ack_base`` rebase the absolute
+        sequence numbers (e.g. onto an ISN) for relative display.
+        """
+        seq = _relative(self.seq, seq_base)
+        length = self.payload_length
+        text = f"{self.flag_string()} {seq}:{seq + length}({length})"
+        if self.is_ack:
+            text += f" ack {_relative(self.ack, ack_base)}"
+        text += f" win {self.window}"
+        if self.mss_option is not None:
+            text += f" mss {self.mss_option}"
+        return text
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return (
-            f"<TCP {self.src_port}->{self.dst_port} [{self.flag_string()}] "
-            f"seq={self.seq} ack={self.ack} len={self.payload_length} "
-            f"win={self.window}>"
-        )
+        return f"<TCP {self.src_port}->{self.dst_port} {self.summary()}>"
 
 
 def make_rst(src_port: int, dst_port: int, seq: int, ack: int, with_ack: bool) -> TCPSegment:

@@ -431,18 +431,11 @@ class TCPConnection:
     def _transmit(self, segment: TCPSegment) -> None:
         if self.suppress_output:
             self.suppressed_segments += 1
-            self._trace("suppressed", flags=segment.flag_string(), seq=segment.seq)
+            self._trace("suppressed", seg=segment.summary())
             return
         self.segments_sent += 1
         self.bytes_sent += segment.payload_length
-        self._trace(
-            "send",
-            flags=segment.flag_string(),
-            seq=segment.seq,
-            ack=segment.ack,
-            len=segment.payload_length,
-            win=segment.window,
-        )
+        self._trace("send", seg=segment.summary())
         self.layer.send_segment(self, segment)
 
     # ------------------------------------------------------------ ACK emission
@@ -601,13 +594,7 @@ class TCPConnection:
     def on_segment(self, segment: TCPSegment) -> None:
         """Process one inbound (or tapped/injected) segment."""
         self.segments_received += 1
-        self._trace(
-            "recv",
-            flags=segment.flag_string(),
-            seq=segment.seq,
-            ack=segment.ack,
-            len=segment.payload_length,
-        )
+        self._trace("recv", seg=segment.summary())
         if self.on_segment_observed is not None:
             self.on_segment_observed(segment)
         if segment.ts_val is not None and self.use_timestamps:

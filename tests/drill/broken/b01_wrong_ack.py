@@ -1,0 +1,8 @@
+# Deliberately broken drill (kept OUT of tests/drill/scripts/): the
+# SYN/ACK must acknowledge sequence 1, not 2.  This script exists to
+# exercise — and pin down in tests — the first-mismatch diagnostic:
+# field name, expected vs actual value, and the expectation time.
+use(mode="server")
+
+inject(0.100, tcp("S", seq=0, win=65535, mss=1460))
+expect(0.100, tcp("SA", seq=0, ack=2, mss=ANY))

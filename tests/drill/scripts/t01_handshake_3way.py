@@ -1,0 +1,7 @@
+# Three-way handshake: SYN -> SYN/ACK -> ACK establishes the connection.
+use(mode="server")
+
+inject(0.100, tcp("S", seq=0, win=65535, mss=1460))
+expect(0.100, tcp("SA", seq=0, ack=1, mss=ANY))
+inject(0.105, tcp("A", seq=1, ack=1))
+expect_state(0.150, "ESTABLISHED")

@@ -1,0 +1,12 @@
+# Active open: SYN retransmits back off 1s -> 2s -> 4s (RFC 6298 doubling
+# from the 1s initial RTO), then the late SYN/ACK still completes.
+use(mode="client")
+
+sock_connect(0.0)
+expect(0.0, tcp("S", seq=0, mss=ANY))
+expect(1.0, tcp("S", seq=0, mss=ANY))
+expect(3.0, tcp("S", seq=0, mss=ANY))
+expect(7.0, tcp("S", seq=0, mss=ANY))
+inject(7.2, tcp("SA", seq=0, ack=1, win=65535, mss=1460))
+expect(7.2, tcp("A", seq=1, ack=1))
+expect_state(7.5, "ESTABLISHED")

@@ -1,0 +1,10 @@
+# Simultaneous open (RFC 793 fig. 8): both SYNs cross; the host answers
+# the peer's bare SYN with SYN/ACK from SYN_SENT and a pure ACK completes.
+use(mode="client")
+
+sock_connect(0.0)
+expect(0.0, tcp("S", seq=0, mss=ANY))
+inject(0.001, tcp("S", seq=0, win=65535, mss=1460))
+expect(0.001, tcp("SA", seq=0, ack=1))
+inject(0.003, tcp("A", seq=1, ack=1))
+expect_state(0.050, "ESTABLISHED")

@@ -1,0 +1,12 @@
+# Passive open with a silent client: the SYN/ACK retransmits on the RTO
+# backoff schedule (1s, 2s); a duplicate SYN is answered immediately with
+# an ACK (the duplicate falls below the receive window -> challenge ACK).
+use(mode="server")
+
+inject(0.0, tcp("S", seq=0, win=65535, mss=1460))
+expect(0.0, tcp("SA", seq=0, ack=1))
+expect(1.0, tcp("SA", seq=0, ack=1))
+expect(3.0, tcp("SA", seq=0, ack=1))
+inject(5.0, tcp("S", seq=0, win=65535, mss=1460))
+expect(5.0, tcp("A", seq=1, ack=1))
+expect(7.0, tcp("SA", seq=0, ack=1))

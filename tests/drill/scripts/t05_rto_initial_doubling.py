@@ -1,0 +1,12 @@
+# RFC 6298 exponential backoff: with no RTT sample the first data RTO is
+# 1s and doubles on every expiry.  Retransmissions carry no PSH.
+use(mode="server")
+
+inject(0.0, tcp("S", seq=0, win=65535, mss=1460))
+expect(0.0, tcp("SA", seq=0, ack=1))
+inject(0.002, tcp("A", seq=1, ack=1))
+sock_write(1.0, 600)
+expect(1.0, tcp("PA", seq=1, ack=1, length=600))
+expect(2.0, tcp("A", seq=1, length=600))
+expect(4.0, tcp("A", seq=1, length=600))
+expect(8.0, tcp("A", seq=1, length=600))

@@ -1,0 +1,17 @@
+# The Linux 200 ms RTO floor: a near-zero RTT sample would drive the
+# computed RTO to ~0, but retransmissions still pace at 0.2s, 0.4s, 0.8s.
+use(mode="server")
+
+inject(0.0, tcp("S", seq=0, win=65535, mss=1460))
+expect(0.0, tcp("SA", seq=0, ack=1))
+inject(0.002, tcp("A", seq=1, ack=1))
+# A fast ACKed exchange leaves srtt ~ a few microseconds.
+sock_write(0.5, 100)
+expect(0.5, tcp("PA", seq=1, ack=1, length=100))
+inject(0.501, tcp("A", seq=1, ack=101))
+# Second write never ACKed: backoff starts from the clamped 200 ms floor.
+sock_write(1.0, 100)
+expect(1.0, tcp("PA", seq=101, length=100))
+expect(1.2, tcp("A", seq=101, length=100))
+expect(1.6, tcp("A", seq=101, length=100))
+expect(2.4, tcp("A", seq=101, length=100))

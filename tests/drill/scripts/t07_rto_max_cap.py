@@ -1,0 +1,18 @@
+# The 120s RTO ceiling: doubling stops at RTO_MAX, so late retransmission
+# intervals pin at exactly 120s (1,2,4,...,64 then 120,120).
+use(mode="server", tol=0.010, run_for=0.5)
+
+inject(0.0, tcp("S", seq=0, win=65535, mss=1460))
+expect(0.0, tcp("SA", seq=0, ack=1))
+inject(0.002, tcp("A", seq=1, ack=1))
+sock_write(1.0, 200)
+expect(1.0, tcp("PA", seq=1, ack=1, length=200))
+expect(2.0, tcp("A", seq=1, length=200))     # +1s
+expect(4.0, tcp("A", seq=1, length=200))     # +2s
+expect(8.0, tcp("A", seq=1, length=200))     # +4s
+expect(16.0, tcp("A", seq=1, length=200))    # +8s
+expect(32.0, tcp("A", seq=1, length=200))    # +16s
+expect(64.0, tcp("A", seq=1, length=200))    # +32s
+expect(128.0, tcp("A", seq=1, length=200))   # +64s
+expect(248.0, tcp("A", seq=1, length=200))   # +120s (capped)
+expect(368.0, tcp("A", seq=1, length=200))   # +120s (still capped)

@@ -1,0 +1,10 @@
+# Delayed ACK: a single full segment is not ACKed immediately; the ACK
+# rides the 40 ms delack timer.
+use(mode="server")
+
+inject(0.0, tcp("S", seq=0, win=65535, mss=1460))
+expect(0.0, tcp("SA", seq=0, ack=1))
+inject(0.002, tcp("A", seq=1, ack=1))
+inject(1.0, tcp("A", seq=1, ack=1, length=1460, payload=pattern(1460)))
+expect_no(1.001, 1.035, tcp("A", ack=1461))
+expect(1.040, tcp("A", seq=1, ack=1461), tol=0.006)

@@ -1,0 +1,12 @@
+# Delayed-ACK segment threshold: a second full segment forces the ACK out
+# immediately (no 40 ms wait), RFC 1122's ack-every-second-segment rule.
+use(mode="server")
+
+inject(0.0, tcp("S", seq=0, win=65535, mss=1460))
+expect(0.0, tcp("SA", seq=0, ack=1))
+inject(0.002, tcp("A", seq=1, ack=1))
+inject(1.000, tcp("A", seq=1, ack=1, length=1460, payload=pattern(1460)))
+inject(1.001, tcp("A", seq=1461, ack=1, length=1460, payload=pattern(1460, 1460)))
+expect(1.001, tcp("A", seq=1, ack=2921))
+# The delack timer must not fire a second, duplicate ACK afterwards.
+expect_no(1.010, 1.080, tcp("A", ack=2921))

@@ -1,0 +1,25 @@
+# Zero-window probing: when the peer closes its window the sender arms the
+# persist timer and probes with 1 byte at 0.5s, then 1s, 2s (doubling);
+# reopening the window resumes the stream.
+use(mode="server")
+
+inject(0.0, tcp("S", seq=0, win=4096, mss=1460))
+expect(0.0, tcp("SA", seq=0, ack=1))
+inject(0.002, tcp("A", seq=1, ack=1, win=4096))
+sock_write(0.5, 8192)
+# The 4096-byte send window fills: 1460 + 1460 + 1176.
+expect(0.5, tcp("A", seq=1, length=1460))
+expect(0.5, tcp("A", seq=1461, length=1460))
+expect(0.5, tcp("A", seq=2921, length=1176))
+# ACK everything but slam the window shut.
+inject(0.6, tcp("A", seq=1, ack=4097, win=0))
+expect_no(0.61, 1.09, tcp(ANY, seq=4097))
+# Each probe carries the next pending byte of the stream.
+expect(1.1, tcp("A", seq=4097, length=1))      # persist probe (0.5s)
+expect(2.1, tcp("A", seq=4098, length=1))      # interval doubled to 1s
+expect(4.1, tcp("A", seq=4099, length=1))      # interval doubled to 2s
+# Window reopens (ACKing the probe bytes): the stream resumes at once.
+inject(4.2, tcp("A", seq=1, ack=4100, win=8192))
+expect(4.2, tcp("A", seq=4100, length=1460))
+expect(4.2, tcp("A", seq=5560, length=1460))
+expect(4.2, tcp("PA", seq=7020, length=1173))

@@ -1,0 +1,25 @@
+# Receive-window accounting: an unread stream shrinks the advertised
+# window to zero; an application read opens it again with a window update.
+use(mode="server")
+
+inject(0.0, tcp("S", seq=0, win=65535, mss=1460))
+expect(0.0, tcp("SA", seq=0, ack=1))
+inject(0.002, tcp("A", seq=1, ack=1))
+# Fill the 16 KiB receive buffer: 11 x 1460 + 324 = 16384 unread bytes.
+inject(1.000, tcp("A", seq=1, ack=1, length=1460, payload=pattern(1460)))
+inject(1.001, tcp("A", seq=1461, ack=1, length=1460, payload=pattern(1460, 1460)))
+inject(1.002, tcp("A", seq=2921, ack=1, length=1460, payload=pattern(1460, 2920)))
+inject(1.003, tcp("A", seq=4381, ack=1, length=1460, payload=pattern(1460, 4380)))
+inject(1.004, tcp("A", seq=5841, ack=1, length=1460, payload=pattern(1460, 5840)))
+inject(1.005, tcp("A", seq=7301, ack=1, length=1460, payload=pattern(1460, 7300)))
+inject(1.006, tcp("A", seq=8761, ack=1, length=1460, payload=pattern(1460, 8760)))
+inject(1.007, tcp("A", seq=10221, ack=1, length=1460, payload=pattern(1460, 10220)))
+inject(1.008, tcp("A", seq=11681, ack=1, length=1460, payload=pattern(1460, 11680)))
+inject(1.009, tcp("A", seq=13141, ack=1, length=1460, payload=pattern(1460, 13140)))
+inject(1.010, tcp("A", seq=14601, ack=1, length=1460, payload=pattern(1460, 14600)))
+inject(1.011, tcp("A", seq=16061, ack=1, length=324, payload=pattern(324, 16060)))
+expect(1.003, tcp("A", ack=2921, win=13464))
+expect(1.011, tcp("A", ack=16385, win=0))
+# Reading drains the buffer: a window update reopens the full 16 KiB.
+sock_read(2.0, 16384)
+expect(2.0, tcp("A", ack=16385, win=16384))

@@ -1,0 +1,22 @@
+# NewReno fast retransmit: the third duplicate ACK triggers an immediate
+# retransmission of the lost head segment, well before the RTO.
+use(mode="server")
+
+inject(0.0, tcp("S", seq=0, win=65535, mss=1460))
+expect(0.0, tcp("SA", seq=0, ack=1))
+inject(0.002, tcp("A", seq=1, ack=1))
+sock_write(0.5, 7300)
+# The 4380-byte initial window (RFC 3390) lets exactly 3 segments out.
+expect(0.5, tcp("A", seq=1, length=1460))
+expect(0.5, tcp("A", seq=1461, length=1460))
+expect(0.5, tcp("A", seq=2921, length=1460))
+# The peer pretends the first segment was lost: three duplicate ACKs.
+inject(0.510, tcp("A", seq=1, ack=1))
+inject(0.520, tcp("A", seq=1, ack=1))
+expect_no(0.505, 0.529, tcp(ANY, seq=1, length=1460))  # not before dupack #3
+inject(0.530, tcp("A", seq=1, ack=1))
+expect(0.530, tcp("A", seq=1, length=1460))            # fast retransmit
+# A full ACK ends recovery and releases the rest of the write.
+inject(0.6, tcp("A", seq=1, ack=4381))
+expect(0.6, tcp("A", seq=4381, length=1460))
+expect(0.6, tcp("PA", seq=5841, length=1460))

@@ -1,0 +1,24 @@
+# NewReno partial ACK: during fast recovery an ACK that advances but does
+# not reach the recovery point retransmits the next hole immediately.
+use(mode="server")
+
+inject(0.0, tcp("S", seq=0, win=65535, mss=1460))
+expect(0.0, tcp("SA", seq=0, ack=1))
+inject(0.002, tcp("A", seq=1, ack=1))
+sock_write(0.5, 7300)
+expect(0.5, tcp("A", seq=1, length=1460))
+expect(0.5, tcp("A", seq=1461, length=1460))
+expect(0.5, tcp("A", seq=2921, length=1460))
+inject(0.510, tcp("A", seq=1, ack=1))
+inject(0.520, tcp("A", seq=1, ack=1))
+inject(0.530, tcp("A", seq=1, ack=1))
+expect(0.530, tcp("A", seq=1, length=1460))            # fast retransmit
+# Partial ACK (covers segment 1 only; recovery point is 4381).
+inject(0.6, tcp("A", seq=1, ack=1461))
+expect(0.6, tcp("A", seq=1461, length=1460))           # immediate, no RTO wait
+# Window deflation + one MSS also releases the tail of the write.
+expect(0.6, tcp("A", seq=4381, length=1460))
+expect(0.6, tcp("PA", seq=5841, length=1460))
+# Full ACK: everything is delivered, nothing left to send.
+inject(0.7, tcp("A", seq=1, ack=7301))
+expect_no(0.705, 0.750, tcp(ANY, length=1460))

@@ -1,0 +1,14 @@
+# Out-of-order arrival: a gapped segment is ACKed immediately (duplicate
+# ACK for the expected sequence); filling the hole ACKs the whole run and
+# delivers the reassembled bytes.
+use(mode="server")
+
+inject(0.0, tcp("S", seq=0, win=65535, mss=1460))
+expect(0.0, tcp("SA", seq=0, ack=1))
+inject(0.002, tcp("A", seq=1, ack=1))
+# Segment 2 arrives first: immediate dup-ACK for seq 1, no delack wait.
+inject(1.0, tcp("A", seq=1461, ack=1, length=1460, payload=pattern(1460, 1460)))
+expect(1.0, tcp("A", ack=1))
+# The hole fills: cumulative ACK jumps over both segments at once.
+inject(1.1, tcp("A", seq=1, ack=1, length=1460, payload=pattern(1460)))
+expect(1.1, tcp("A", ack=2921))

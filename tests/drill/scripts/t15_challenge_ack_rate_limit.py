@@ -1,0 +1,26 @@
+# Challenge-ACK rate limiting (RFC 5961 §5): out-of-window segments are
+# answered with at most 5 challenge ACKs per 100 ms window.
+use(mode="server")
+
+inject(0.0, tcp("S", seq=0, win=65535, mss=1460))
+expect(0.0, tcp("SA", seq=0, ack=1))
+inject(0.002, tcp("A", seq=1, ack=1))
+# Eight stale segments (seq 0 sits below rcv_nxt=1) in one 100 ms window.
+inject(1.000, tcp("A", seq=0, ack=1))
+inject(1.002, tcp("A", seq=0, ack=1))
+inject(1.004, tcp("A", seq=0, ack=1))
+inject(1.006, tcp("A", seq=0, ack=1))
+inject(1.008, tcp("A", seq=0, ack=1))
+inject(1.010, tcp("A", seq=0, ack=1))
+inject(1.012, tcp("A", seq=0, ack=1))
+inject(1.014, tcp("A", seq=0, ack=1))
+expect(1.000, tcp("A", seq=1, ack=1))
+expect(1.002, tcp("A", seq=1, ack=1))
+expect(1.004, tcp("A", seq=1, ack=1))
+expect(1.006, tcp("A", seq=1, ack=1))
+expect(1.008, tcp("A", seq=1, ack=1))
+# The budget (5 per 100 ms) is spent: 6th..8th go unanswered.
+expect_no(1.0095, 1.099, tcp("A"))
+# A fresh window earns a fresh budget.
+inject(1.150, tcp("A", seq=0, ack=1))
+expect(1.150, tcp("A", seq=1, ack=1))

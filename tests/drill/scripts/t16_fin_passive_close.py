@@ -1,0 +1,15 @@
+# Passive close: the peer's FIN is ACKed at once (CLOSE_WAIT); the local
+# close sends our FIN (LAST_ACK) and its ACK finishes the connection.
+use(mode="server")
+
+inject(0.0, tcp("S", seq=0, win=65535, mss=1460))
+expect(0.0, tcp("SA", seq=0, ack=1))
+inject(0.002, tcp("A", seq=1, ack=1))
+inject(1.0, tcp("FA", seq=1, ack=1))
+expect(1.0, tcp("A", seq=1, ack=2))
+expect_state(1.05, "CLOSE_WAIT")
+sock_close(1.1)
+expect(1.1, tcp("FA", seq=1, ack=2))
+expect_state(1.15, "LAST_ACK")
+inject(1.2, tcp("A", seq=2, ack=2))
+expect_state(1.3, "CLOSED")

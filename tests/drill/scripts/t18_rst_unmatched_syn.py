@@ -1,0 +1,9 @@
+# RFC 793 §3.4: a SYN to a port nobody listens on is answered with
+# RST/ACK (seq 0, ack = SYN.seq + 1).
+use(mode="server")
+
+inject(0.1, tcp("S", seq=0, win=65535, dport=9999))
+expect(0.1, tcp("RA", seq=0, ack=1, win=0, sport=9999))
+# The listener port still answers normally afterwards.
+inject(0.2, tcp("S", seq=0, win=65535, mss=1460))
+expect(0.2, tcp("SA", seq=0, ack=1))

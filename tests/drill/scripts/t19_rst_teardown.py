@@ -1,0 +1,14 @@
+# RST teardown: an in-window RST kills the connection without handshake;
+# data sent afterwards hits no TCB and draws a RST at the ACKed sequence.
+use(mode="server")
+
+inject(0.0, tcp("S", seq=0, win=65535, mss=1460))
+expect(0.0, tcp("SA", seq=0, ack=1))
+inject(0.002, tcp("A", seq=1, ack=1))
+expect_state(0.5, "ESTABLISHED")
+inject(1.0, tcp("R", seq=1))
+expect_state(1.1, "CLOSED")
+# Late data on the dead connection: the layer answers RST (no ACK flag,
+# seq taken from the incoming segment's own ACK field).
+inject(1.2, tcp("A", seq=1, ack=1, length=100, payload=pattern(100)))
+expect(1.2, tcp("R", seq=1, win=0))

@@ -1,0 +1,12 @@
+# MSS negotiation: the SYN's 536-byte MSS option clamps every data
+# segment the server sends, regardless of its configured 1460.
+use(mode="server")
+
+inject(0.0, tcp("S", seq=0, win=65535, mss=536))
+expect(0.0, tcp("SA", seq=0, ack=1))
+inject(0.002, tcp("A", seq=1, ack=1))
+sock_write(0.5, 1600)
+expect(0.5, tcp("A", seq=1, length=536))
+expect(0.5, tcp("A", seq=537, length=536))
+expect(0.5, tcp("PA", seq=1073, length=528))
+expect_no(0.4, 0.7, tcp(ANY, length=1460))

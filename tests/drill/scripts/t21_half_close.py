@@ -1,0 +1,18 @@
+# Half-close: after the peer's FIN (CLOSE_WAIT) the local side keeps
+# writing; its own close then completes the exchange through LAST_ACK.
+use(mode="server")
+
+inject(0.0, tcp("S", seq=0, win=65535, mss=1460))
+expect(0.0, tcp("SA", seq=0, ack=1))
+inject(0.002, tcp("A", seq=1, ack=1))
+inject(1.0, tcp("FA", seq=1, ack=1))
+expect(1.0, tcp("A", seq=1, ack=2))
+expect_state(1.05, "CLOSE_WAIT")
+# The receive direction is closed; the send direction still works.
+sock_write(1.1, 500)
+expect(1.1, tcp("PA", seq=1, ack=2, length=500))
+inject(1.2, tcp("A", seq=2, ack=501))
+sock_close(1.3)
+expect(1.3, tcp("FA", seq=501, ack=2))
+inject(1.4, tcp("A", seq=2, ack=502))
+expect_state(1.5, "CLOSED")

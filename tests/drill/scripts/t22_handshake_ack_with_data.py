@@ -1,0 +1,9 @@
+# A handshake completed by an ACK carrying data (common client shortcut):
+# the connection establishes and the 150 payload bytes ride the delack.
+use(mode="server")
+
+inject(0.0, tcp("S", seq=0, win=65535, mss=1460))
+expect(0.0, tcp("SA", seq=0, ack=1))
+inject(0.002, tcp("PA", seq=1, ack=1, length=150, payload=pattern(150)))
+expect_state(0.02, "ESTABLISHED")
+expect(0.042, tcp("A", seq=1, ack=151), tol=0.006)

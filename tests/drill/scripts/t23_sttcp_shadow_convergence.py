@@ -1,0 +1,22 @@
+# ST-TCP shadow convergence (paper §4): the backup taps the primary's
+# wire traffic and builds a byte-exact, output-suppressed replica of the
+# connection — ISN rebased onto the primary's, both stream positions
+# tracking the live connection.
+use(mode="sttcp")
+
+inject(0.100, tcp("S", seq=0, win=65535, mss=1460))
+expect(0.100, tcp("SA", seq=0, ack=1, mss=ANY))
+inject(0.102, tcp("A", seq=1, ack=1))
+# One echo request: the primary answers; the backup's shadow server
+# produces the identical (suppressed) response.
+inject(0.110, tcp("PA", seq=1, ack=1, length=150, payload=app_request("echo", request_id=1)))
+expect(0.110, tcp("PA", seq=1, ack=151, length=150))
+inject(0.150, tcp("A", seq=151, ack=151))
+expect_shadow(
+    0.250,
+    established=True,
+    isn_rebased=True,
+    rcv_nxt=151,
+    snd_nxt=151,
+    suppressed=True,
+)

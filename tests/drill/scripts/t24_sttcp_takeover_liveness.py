@@ -1,0 +1,23 @@
+# ST-TCP takeover liveness (paper §5): after the primary crashes the
+# backup detects the missed heartbeats, STONITHs the primary, lifts
+# output suppression, and serves new requests on the *same* connection —
+# no RST, no new handshake.
+use(mode="sttcp")
+
+inject(0.100, tcp("S", seq=0, win=65535, mss=1460))
+expect(0.100, tcp("SA", seq=0, ack=1, mss=ANY))
+inject(0.102, tcp("A", seq=1, ack=1))
+inject(0.110, tcp("PA", seq=1, ack=1, length=150, payload=app_request("echo", request_id=1)))
+expect(0.110, tcp("PA", seq=1, ack=151, length=150))
+inject(0.150, tcp("A", seq=151, ack=151))
+
+fault(0.300, "primary_crash")
+expect_takeover(0.700)
+# With nothing in flight the takeover announces itself with a pure ACK
+# in the primary's sequence space (detection ~3 heartbeats + STONITH).
+expect(0.520, tcp("A", seq=151, ack=151), tol=0.200)
+# The failed-over server answers a fresh request seamlessly.
+inject(0.800, tcp("PA", seq=151, ack=151, length=150, payload=app_request("echo", request_id=2)))
+expect(0.800, tcp("PA", seq=151, ack=301, length=150))
+# The client must never see the connection torn down.
+expect_no(0.000, 0.900, tcp("R"))

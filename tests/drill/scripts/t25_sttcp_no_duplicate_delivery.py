@@ -1,0 +1,29 @@
+# ST-TCP no-duplicate-delivery (paper §5): the backup resumes the send
+# stream exactly at the client's cumulative ACK.  Bytes the client
+# already acknowledged before the crash are never retransmitted, and
+# go-back-N walks the remainder as ACKs return.
+use(mode="sttcp")
+
+inject(0.100, tcp("S", seq=0, win=65535, mss=1460))
+expect(0.100, tcp("SA", seq=0, ack=1, mss=ANY))
+inject(0.102, tcp("A", seq=1, ack=1))
+# A 3000-byte DATA response: three segments inside the initial cwnd.
+inject(0.110, tcp("PA", seq=1, ack=1, length=150, payload=app_request("data", size=3000, request_id=1)))
+expect(0.110, tcp("A", seq=1, ack=151, length=1460))
+expect(0.110, tcp("A", seq=1461, ack=151, length=1460))
+expect(0.110, tcp("PA", seq=2921, ack=151, length=80))
+# The client acknowledges only the first segment before the crash.
+inject(0.130, tcp("A", seq=151, ack=1461))
+
+fault(0.300, "primary_crash")
+expect_takeover(0.700)
+# Takeover retransmits the head of the *unacknowledged* region: byte
+# 1461, not byte 1 — the acknowledged prefix is never re-sent.
+expect(0.520, tcp("A", seq=1461, ack=151, length=1460), tol=0.200)
+expect_no(0.140, 1.100, tcp(ANY, seq=1, length=1460))
+# Go-back-N: each returning ACK releases the next hole.
+inject(0.900, tcp("A", seq=151, ack=2921))
+expect(0.900, tcp("A", seq=2921, ack=151, length=80))
+inject(0.950, tcp("A", seq=151, ack=3001))
+# And at no point does the client see a reset.
+expect_no(0.000, 1.000, tcp("R"))

@@ -1,0 +1,54 @@
+"""Mutation smoke checks: the ST-TCP drills must *fail* when the
+takeover logic is deliberately broken.
+
+A conformance corpus that keeps passing under a sabotaged stack tests
+nothing; each case here perturbs one load-bearing piece of the failover
+path and asserts the matching drill catches it.
+"""
+
+from pathlib import Path
+
+from repro.drill import run_drill_file
+from repro.tcp.tcb import TCPConnection
+
+SCRIPTS = Path(__file__).parent / "scripts"
+
+
+def test_takeover_noop_breaks_liveness_drill(monkeypatch):
+    monkeypatch.setattr(TCPConnection, "takeover", lambda self: None)
+    result = run_drill_file(SCRIPTS / "t24_sttcp_takeover_liveness.py")
+    assert not result.passed
+    result = run_drill_file(SCRIPTS / "t25_sttcp_no_duplicate_delivery.py")
+    assert not result.passed
+
+
+def test_isn_rebase_noop_breaks_shadow_drill(monkeypatch):
+    # Both rebase sources (tapped primary SYN/ACK, client handshake ACK)
+    # must be disabled: with a lossless tap either alone suffices.
+    monkeypatch.setattr(
+        TCPConnection, "rebase_from_primary_isn", lambda self, isn_abs: None
+    )
+    monkeypatch.setattr(TCPConnection, "_rebase_isn", lambda self, ack_abs: None)
+    result = run_drill_file(SCRIPTS / "t23_sttcp_shadow_convergence.py")
+    assert not result.passed
+
+
+def test_takeover_resending_acked_bytes_breaks_no_duplicate_drill(monkeypatch):
+    # A takeover that retransmits from the start of the *stream* instead
+    # of the client's cumulative ACK re-delivers acknowledged bytes; the
+    # drill's expect_no on seq 1 must catch the duplicate.
+    from repro.tcp.constants import FLAG_ACK
+    from repro.util.bytespan import PatternBytes
+
+    original = TCPConnection.takeover
+
+    def duplicating(self):
+        was_shadow = self.suppress_output and self.flight_size > 0
+        original(self)
+        if was_shadow:
+            self._emit(FLAG_ACK, self.iss + 1, PatternBytes(1460, 0, 7))
+
+    monkeypatch.setattr(TCPConnection, "takeover", duplicating)
+    result = run_drill_file(SCRIPTS / "t25_sttcp_no_duplicate_delivery.py")
+    assert not result.passed
+    assert "seq 1" in result.failure

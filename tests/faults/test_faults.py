@@ -84,3 +84,92 @@ def test_partition_channel_drops_only_channel_traffic(lan):
     lan.sim.run(until=1.0)
     assert channel_received == []
     assert len(other_received) == 1
+
+
+# ---------------------------------------------------------------------------
+# Arming/firing order and idempotency
+# ---------------------------------------------------------------------------
+
+
+def test_crashes_fire_in_time_order_regardless_of_arming_order(lan):
+    injector = CrashInjector(lan.sim)
+    injector.crash_at(lan.b, 2.0)  # armed first, fires second
+    injector.crash_at(lan.a, 1.0)
+    lan.sim.run(until=3.0)
+    assert lan.a.crashed_at == pytest.approx(1.0)
+    assert lan.b.crashed_at == pytest.approx(2.0)
+    assert injector.crashes_performed == 2
+
+
+def test_rearming_a_crash_is_idempotent(lan):
+    injector = CrashInjector(lan.sim)
+    injector.crash_at(lan.b, 1.0)
+    injector.crash_at(lan.b, 1.5)  # second crash of a dead host: no-op
+    lan.sim.run(until=2.0)
+    assert injector.crashes_performed == 2
+    assert lan.b.crashed_at == pytest.approx(1.0)  # first crash time sticks
+    assert not lan.b.is_up
+
+
+def test_cancel_all_clears_the_schedule_for_reuse(lan):
+    injector = CrashInjector(lan.sim)
+    injector.crash_at(lan.a, 1.0)
+    injector.cancel_all()
+    assert injector.scheduled == []
+    injector.crash_at(lan.a, 2.0)  # re-arming after cancel works
+    lan.sim.run(until=3.0)
+    assert injector.crashes_performed == 1
+
+
+# ---------------------------------------------------------------------------
+# Drill-DSL fault binding
+# ---------------------------------------------------------------------------
+
+
+def test_apply_drill_fault_rejects_unknown_name(lan):
+    from repro.faults.injection import apply_drill_fault
+
+    class Env:
+        sim = lan.sim
+
+    with pytest.raises(ValueError, match="unknown fault 'typo'.*primary_crash"):
+        apply_drill_fault("typo", Env(), 1.0)
+
+
+def test_apply_drill_fault_requires_matching_topology(lan):
+    from repro.faults.injection import apply_drill_fault
+
+    class Env:  # a server-mode env: no primary/backup pair
+        sim = lan.sim
+        crash_injector = CrashInjector(lan.sim)
+        primary = None
+
+    with pytest.raises(ValueError, match="sttcp mode"):
+        apply_drill_fault("tap_outage", Env(), 1.0)
+
+
+def test_drill_fault_crashes_the_bound_host(lan):
+    from repro.faults.injection import apply_drill_fault
+
+    class Env:
+        sim = lan.sim
+        crash_injector = CrashInjector(lan.sim)
+        primary = lan.b
+
+    apply_drill_fault("primary_crash", Env(), 0.5)
+    lan.sim.run(until=1.0)
+    assert lan.b.crashed_at == pytest.approx(0.5)
+
+
+def test_drill_fault_registry_covers_the_documented_set():
+    from repro.faults.injection import DRILL_FAULTS
+
+    assert {
+        "primary_crash",
+        "backup_crash",
+        "hut_crash",
+        "tap_outage",
+        "tap_loss",
+        "channel_partition",
+        "channel_heal",
+    } <= set(DRILL_FAULTS)

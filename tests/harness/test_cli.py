@@ -19,6 +19,30 @@ def test_parser_knows_all_subcommands():
     for command in ("table1", "table2", "figure5", "figure6", "ablations", "demo"):
         args = parser.parse_args([command] if command != "figure5" else [command, "--app", "echo"])
         assert args.command == command
+    assert parser.parse_args(["drill", "some/path"]).command == "drill"
+
+
+def test_drill_command_reports_per_script_table(capsys, tmp_path):
+    from pathlib import Path
+
+    scripts = Path(__file__).parent.parent / "drill" / "scripts"
+    single = scripts / "t01_handshake_3way.py"
+    json_path = tmp_path / "drill.json"
+    assert main(["drill", str(single), "--json", str(json_path)]) == 0
+    out = capsys.readouterr().out
+    assert "t01_handshake_3way" in out and "PASS" in out
+    assert "1/1 scripts passed" in out
+    assert json.loads(json_path.read_text())[0]["passed"] is True
+
+
+def test_drill_command_fails_on_broken_script(capsys):
+    from pathlib import Path
+
+    broken = Path(__file__).parent.parent / "drill" / "broken" / "b01_wrong_ack.py"
+    assert main(["drill", str(broken)]) == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out
+    assert "field ack: expected 2, actual 1" in out
 
 
 def test_demo_command_runs(capsys):
@@ -91,9 +115,10 @@ def test_csv_empty_records(tmp_path):
 def test_trace_command_shows_wire_view(capsys):
     assert main(["trace", "--exchanges", "30", "--seed", "7"]) == 0
     out = capsys.readouterr().out
-    assert "Flags [S.]" in out        # the SYN/ACK from the service IP
+    assert ": SA " in out             # the SYN/ACK from the service IP
     assert "verified=True" in out
     assert "takeover" in out
-    # Every frame the client saw came from the one service identity.
-    data_lines = [l for l in out.splitlines() if "Flags" in l]
+    # Every TCP frame the client saw came from the one service identity.
+    data_lines = [l for l in out.splitlines() if " win " in l]
+    assert data_lines
     assert all("10.0.0.100.8000" in line for line in data_lines)

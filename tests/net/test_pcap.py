@@ -1,0 +1,184 @@
+"""Pcap writer tests: golden bytes plus an independent round-trip reader.
+
+The reader below is deliberately written from the libpcap/RFC 791/RFC
+9293 specs using nothing but ``struct`` — it shares no code with
+``repro.net.tcpdump`` — so agreement between the two is real evidence the
+files will open in Wireshark/tcpdump.
+"""
+
+import io
+import struct
+
+from repro.net.addresses import ip, mac
+from repro.net.frame import ETHERTYPE_ARP, ETHERTYPE_IPV4, EthernetFrame
+from repro.net.arp import ARP_MESSAGE_SIZE, ARP_REQUEST, ArpMessage
+from repro.net.tcpdump import PcapWriter, frame_to_bytes, write_pcap
+from repro.ip.datagram import PROTO_TCP, PROTO_UDP, IPDatagram
+from repro.tcp.constants import FLAG_ACK, FLAG_PSH, FLAG_SYN
+from repro.tcp.segment import TCPSegment
+from repro.udp.datagram import UDPDatagram
+from repro.util.bytespan import RealBytes
+
+SRC_MAC = mac("02:00:00:00:00:02")
+DST_MAC = mac("02:00:00:00:00:01")
+SRC_IP = ip("10.0.0.99")
+DST_IP = ip("10.0.0.1")
+
+
+def _tcp_frame(segment, datagram_id=7):
+    datagram = IPDatagram(SRC_IP, DST_IP, PROTO_TCP, segment, segment.size)
+    datagram.datagram_id = datagram_id  # pin the global counter's value
+    datagram.ttl = 64
+    return EthernetFrame(DST_MAC, SRC_MAC, ETHERTYPE_IPV4, datagram, datagram.size)
+
+
+def test_frame_to_bytes_golden_syn():
+    segment = TCPSegment(40000, 8000, 0, 0, FLAG_SYN, 65535, mss_option=1460)
+    raw = frame_to_bytes(_tcp_frame(segment))
+    assert raw.hex() == (
+        "020000000001020000000002080045 00002c0007400040062662 0a000063"
+        "0a000001 9c401f40 00000000 00000000 6002ffff c8420000 020405b4"
+    ).replace(" ", "")
+
+
+def test_pcap_global_and_record_headers_golden():
+    buffer = io.BytesIO()
+    with PcapWriter(buffer) as writer:
+        writer.write_bytes(1.000002, b"\x01\x02\x03")
+    data = buffer.getvalue()
+    # Global header: magic a1b2c3d4, v2.4, zone 0, sigfigs 0,
+    # snaplen 65535, LINKTYPE_ETHERNET (1).
+    assert data[:24] == struct.pack("<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 1)
+    assert data[24:40] == struct.pack("<IIII", 1, 2, 3, 3)
+    assert data[40:] == b"\x01\x02\x03"
+
+
+def test_pcap_timestamp_rounding_guard():
+    buffer = io.BytesIO()
+    with PcapWriter(buffer) as writer:
+        writer.write_bytes(0.9999999, b"")
+    ts_sec, ts_usec, _, _ = struct.unpack_from("<IIII", buffer.getvalue(), 24)
+    assert (ts_sec, ts_usec) == (1, 0)
+
+
+# ---------------------------------------------------------------------------
+# Independent pure-struct reader
+# ---------------------------------------------------------------------------
+
+
+def _rfc1071(data):
+    if len(data) % 2:
+        data += b"\x00"
+    total = sum(struct.unpack(f"!{len(data) // 2}H", data))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def _read_pcap(path):
+    raw = path.read_bytes()
+    magic, major, minor, _, _, snaplen, linktype = struct.unpack_from("<IHHiIII", raw, 0)
+    assert magic == 0xA1B2C3D4
+    assert (major, minor) == (2, 4)
+    assert linktype == 1  # LINKTYPE_ETHERNET
+    offset, records = 24, []
+    while offset < len(raw):
+        ts_sec, ts_usec, incl_len, orig_len = struct.unpack_from("<IIII", raw, offset)
+        assert incl_len == orig_len <= snaplen
+        offset += 16
+        records.append((ts_sec + ts_usec / 1e6, raw[offset : offset + incl_len]))
+        offset += incl_len
+    assert offset == len(raw)
+    return records
+
+
+def _parse_ethernet(data):
+    dst, src, ethertype = struct.unpack_from("!6s6sH", data, 0)
+    return dst, src, ethertype, data[14:]
+
+
+def _parse_ipv4(data):
+    (ver_ihl, _, total_len, ident, frags, ttl, proto, checksum, src, dst) = struct.unpack_from(
+        "!BBHHHBBH4s4s", data, 0
+    )
+    assert ver_ihl == 0x45
+    assert total_len == len(data)
+    assert _rfc1071(data[:20]) == 0  # checksum over the header must verify
+    return ident, frags, ttl, proto, src, dst, data[20:]
+
+
+def _parse_tcp(data, src_ip, dst_ip):
+    sport, dport, seq, ackno, offset_flags, flags, window, checksum, _ = struct.unpack_from(
+        "!HHIIBBHHH", data, 0
+    )
+    header_len = (offset_flags >> 4) * 4
+    pseudo = src_ip + dst_ip + struct.pack("!BBH", 0, 6, len(data))
+    assert _rfc1071(pseudo + data) == 0
+    options, cursor, mss = data[20:header_len], 0, None
+    while cursor < len(options):
+        kind = options[cursor]
+        if kind == 0:
+            break
+        if kind == 1:
+            cursor += 1
+            continue
+        length = options[cursor + 1]
+        if kind == 2:
+            (mss,) = struct.unpack_from("!H", options, cursor + 2)
+        cursor += length
+    return sport, dport, seq, ackno, flags, window, mss, data[header_len:]
+
+
+def test_round_trip_reader(tmp_path):
+    data_segment = TCPSegment(
+        40000, 8000, 1, 501, FLAG_ACK | FLAG_PSH, 17520, RealBytes(b"drill-bytes"), mss_option=None
+    )
+    udp = UDPDatagram(9000, 9001, object(), 40)
+    udp_datagram = IPDatagram(SRC_IP, DST_IP, PROTO_UDP, udp, udp.size)
+    udp_datagram.datagram_id = 8
+    arp = ArpMessage(ARP_REQUEST, SRC_IP, SRC_MAC, DST_IP, None)
+    frames = [
+        (0.25, _tcp_frame(TCPSegment(40000, 8000, 0, 0, FLAG_SYN, 65535, mss_option=1460))),
+        (0.5, _tcp_frame(data_segment, datagram_id=9)),
+        (0.75, EthernetFrame(DST_MAC, SRC_MAC, ETHERTYPE_IPV4, udp_datagram, udp_datagram.size)),
+        (1.0, EthernetFrame(DST_MAC, SRC_MAC, ETHERTYPE_ARP, arp, ARP_MESSAGE_SIZE)),
+    ]
+    path = tmp_path / "capture.pcap"
+    assert write_pcap(str(path), frames) == 4
+    records = _read_pcap(path)
+    assert [round(t, 6) for t, _ in records] == [0.25, 0.5, 0.75, 1.0]
+
+    # Record 1: the SYN, with its MSS option intact.
+    _, _, ethertype, packet = _parse_ethernet(records[0][1])
+    assert ethertype == 0x0800
+    ident, frags, ttl, proto, src, dst, tcp_bytes = _parse_ipv4(packet)
+    assert (ident, frags, ttl, proto) == (7, 0x4000, 64, 6)
+    assert (src, dst) == (bytes([10, 0, 0, 99]), bytes([10, 0, 0, 1]))
+    sport, dport, seq, ackno, flags, window, mss, payload = _parse_tcp(tcp_bytes, src, dst)
+    assert (sport, dport, seq, ackno) == (40000, 8000, 0, 0)
+    assert flags == FLAG_SYN and window == 65535 and mss == 1460 and payload == b""
+
+    # Record 2: real payload bytes survive serialisation.
+    _, _, _, packet = _parse_ethernet(records[1][1])
+    *_, tcp_bytes = _parse_ipv4(packet)
+    *_, mss, payload = _parse_tcp(tcp_bytes, bytes([10, 0, 0, 99]), bytes([10, 0, 0, 1]))
+    assert mss is None and payload == b"drill-bytes"
+
+    # Record 3: UDP with a verifying checksum and honest length.
+    _, _, _, packet = _parse_ethernet(records[2][1])
+    ident, _, _, proto, src, dst, udp_bytes = _parse_ipv4(packet)
+    assert proto == 17
+    usport, udport, ulen, uchecksum = struct.unpack_from("!HHHH", udp_bytes, 0)
+    assert (usport, udport, ulen) == (9000, 9001, 48)
+    pseudo = src + dst + struct.pack("!BBH", 0, 17, ulen)
+    assert _rfc1071(pseudo + udp_bytes) in (0, 0xFFFF)
+
+    # Record 4: ARP request with a zeroed unknown target MAC.
+    _, _, ethertype, arp_bytes = _parse_ethernet(records[3][1])
+    assert ethertype == 0x0806
+    htype, ptype, hlen, plen, op, smac, sip, tmac, tip = struct.unpack_from(
+        "!HHBBH6s4s6s4s", arp_bytes, 0
+    )
+    assert (htype, ptype, hlen, plen, op) == (1, 0x0800, 6, 4, 1)
+    assert sip == bytes([10, 0, 0, 99]) and tip == bytes([10, 0, 0, 1])
+    assert tmac == bytes(6)

@@ -12,10 +12,7 @@ from tests.conftest import LanPair, run_echo_once
 def test_format_segment_syn():
     segment = TCPSegment(1000, 80, 5, 0, FLAG_SYN, 17520, mss_option=1460)
     text = format_segment(segment)
-    assert "Flags [S]" in text
-    assert "seq 5" in text
-    assert "mss 1460" in text
-    assert "length 0" in text
+    assert text == "S 5:5(0) win 17520 mss 1460"
 
 
 def test_format_segment_data():
@@ -23,15 +20,12 @@ def test_format_segment_data():
         1000, 80, 100, 50, FLAG_ACK | FLAG_PSH, 1000, RealBytes(b"x" * 20)
     )
     text = format_segment(segment)
-    assert "Flags [P.]" in text
-    assert "seq 100:120" in text
-    assert "ack 50" in text
-    assert "length 20" in text
+    assert text == "PA 100:120(20) ack 50 win 1000"
 
 
 def test_format_segment_relative_seq():
     segment = TCPSegment(1, 2, 1010, 0, FLAG_ACK, 100, RealBytes(b"ab"))
-    assert "seq 10:12" in format_segment(segment, relative_seq=1000)
+    assert "10:12(2)" in format_segment(segment, relative_seq=1000)
 
 
 def test_packet_dump_captures_connection():
@@ -42,7 +36,7 @@ def test_packet_dump_captures_connection():
     run_echo_once(lan)
     assert dump.lines_emitted > 0
     text = "\n".join(lines)
-    assert "Flags [S]" in text  # the SYN arrived at the server
+    assert ": S " in text  # the SYN arrived at the server
     assert "server" in lines[0]
     # ARP exchange is rendered too.
     assert "ARP" in text
