@@ -1,0 +1,57 @@
+"""Observability microbenchmarks: trace emit and flight-recorder cost.
+
+The flight recorder is designed to fly on every drill and every harness
+run, so its per-record cost is a hot-path number worth pinning.  Both
+benchmarks attach throughput to ``extra_info`` (as ``events_per_sec``,
+one record = one event) so ``check_perf_regression.py`` gates them
+against ``BENCH_baseline.json`` like the scheduler benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.obs.recorder import FlightRecorder
+from repro.sim.trace import Tracer
+
+#: Records per round.
+RECORDS = 200_000
+
+
+def test_trace_emit_disabled(benchmark):
+    """The cost left in a hot path when nobody is listening: one
+    ``enabled_for`` check, no record built."""
+    tracer = Tracer()
+
+    def emit_all():
+        emitted = 0
+        for i in range(RECORDS):
+            if tracer.enabled_for("tcp"):
+                tracer.emit(i * 1e-6, "tcp", "send", seq=i)
+                emitted += 1
+        return emitted
+
+    assert benchmark.pedantic(emit_all, rounds=5, iterations=1) == 0
+    benchmark.extra_info["events_per_sec"] = round(
+        RECORDS / benchmark.stats.stats.mean
+    )
+
+
+def test_trace_emit_flight_recorder(benchmark):
+    """Records/sec through a wildcard flight recorder — the always-on
+    black-box configuration every drill runs with."""
+
+    def setup():
+        tracer = Tracer()
+        flight = FlightRecorder()
+        tracer.add_sink(flight)
+        return (tracer, flight), {}
+
+    def emit_all(tracer, flight):
+        for i in range(RECORDS):
+            tracer.emit(i * 1e-6, "tcp", "send", seq=i, length=1400)
+        return flight.total_records
+
+    total = benchmark.pedantic(emit_all, setup=setup, rounds=5, iterations=1)
+    assert total == RECORDS
+    benchmark.extra_info["events_per_sec"] = round(
+        RECORDS / benchmark.stats.stats.mean
+    )

@@ -40,7 +40,18 @@ def client_session(
     """
     sim = host.sim
     start = sim.now
-    timeline = [(start, 0)]
+    trace = sim.trace
+    timeline = []
+
+    def checkpoint(total: int) -> None:
+        """Progress checkpoint: the gap-analysis timeline plus the
+        app/client_progress trace marker timeline reconstruction anchors
+        the outage window on (same instants, so the windows agree)."""
+        timeline.append((sim.now, total))
+        if trace.enabled_for("app"):
+            trace.emit(sim.now, "app", "client_progress", host=host.name, bytes=total)
+
+    checkpoint(0)
     bytes_received = 0
     bytes_sent = 0
     exchanges_done = 0
@@ -68,19 +79,19 @@ def client_session(
                     upload_stream_offset += piece
                     bytes_sent += piece
                     remaining -= piece
-                    timeline.append((sim.now, bytes_sent + bytes_received))
+                    checkpoint(bytes_sent + bytes_received)
                 receipt = yield sock.recv_exactly(REQUEST_SIZE)
                 record = decode_request(receipt)
                 if record.response_size != workload.response_size:
                     verified = False
                 bytes_received += len(receipt)
-                timeline.append((sim.now, bytes_sent + bytes_received))
+                checkpoint(bytes_sent + bytes_received)
             elif workload.echo:
                 reply = yield sock.recv_exactly(REQUEST_SIZE)
                 if not span_equal(reply, request):
                     verified = False
                 bytes_received += len(reply)
-                timeline.append((sim.now, bytes_received))
+                checkpoint(bytes_received)
             else:
                 remaining = workload.response_size
                 while remaining > 0:
@@ -90,7 +101,7 @@ def client_session(
                     data_stream_offset += len(chunk)
                     bytes_received += len(chunk)
                     remaining -= len(chunk)
-                    timeline.append((sim.now, bytes_received))
+                    checkpoint(bytes_received)
             exchanges_done += 1
     except Exception as exc:  # noqa: BLE001 - recorded in the result
         error = f"{type(exc).__name__}: {exc}"

@@ -30,6 +30,7 @@ from repro.faults.injection import CrashInjector, apply_drill_fault
 from repro.host.host import Host
 from repro.net.addresses import IPAddress, fresh_unicast_mac, ip
 from repro.net.medium import Hub
+from repro.obs.recorder import FlightRecorder
 from repro.sim.simulator import Simulator
 from repro.tcp.config import TCPConfig
 from repro.util.bytespan import ByteSpan, PatternBytes, RealBytes
@@ -78,6 +79,12 @@ class DrillEnv:
         if seed is None:
             seed = zlib.crc32(program.name.encode()) & 0x7FFFFFFF
         self.sim = Simulator(seed=seed)
+        # Every drill flies with the recorder attached: when a drill
+        # fails (or the stack crashes mid-run) the last trace records are
+        # available for the dump, with no re-run needed.  The ring is
+        # bounded, so a long drill cannot grow it.
+        self.flight = FlightRecorder()
+        self.sim.trace.add_sink(self.flight)
         self.crash_injector = CrashInjector(self.sim)
         self.hub = Hub(self.sim, LINK_RATE_BPS, delay=LINK_DELAY)
         self.tcp_config = TCPConfig().copy(**settings.get("tcp", {}))
@@ -381,21 +388,39 @@ def run_program(program: DrillProgram) -> Tuple[DrillResult, DrillEnv]:
     return result, env
 
 
-def run_drill_file(path: Union[str, Path]) -> DrillResult:
-    """Load and run one drill script."""
-    result, _ = run_program(load_script(path))
+def run_drill_file(
+    path: Union[str, Path], flight_dump: Optional[Union[str, Path]] = None
+) -> DrillResult:
+    """Load and run one drill script.
+
+    ``flight_dump`` names a directory; a failing drill leaves its
+    flight-recorder dump there as ``<name>.flight.txt``.  Dumps are a
+    side channel only — the report and the failure diagnostics stay
+    byte-identical with and without it.
+    """
+    program = load_script(path)
+    result, env = run_program(program)
+    if flight_dump is not None and not result.passed:
+        directory = Path(flight_dump)
+        directory.mkdir(parents=True, exist_ok=True)
+        env.flight.dump_to(
+            directory / f"{program.name}.flight.txt",
+            reason=f"drill {program.name} failed",
+        )
     return result
 
 
-def run_drill_path(path: Union[str, Path]) -> List[DrillResult]:
+def run_drill_path(
+    path: Union[str, Path], flight_dump: Optional[Union[str, Path]] = None
+) -> List[DrillResult]:
     """Run one script, or every ``*.py`` under a directory (sorted)."""
     path = Path(path)
     if path.is_dir():
         scripts = sorted(path.glob("*.py"))
         if not scripts:
             raise FileNotFoundError(f"no drill scripts under {path}")
-        return [run_drill_file(script) for script in scripts]
-    return [run_drill_file(path)]
+        return [run_drill_file(script, flight_dump) for script in scripts]
+    return [run_drill_file(path, flight_dump)]
 
 
 def write_failure_pcap(env: DrillEnv, path: Union[str, Path]) -> int:

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import Any, Dict, List, Optional
@@ -39,6 +40,7 @@ from repro.harness.experiments import (
     format_table2,
 )
 from repro.harness.results import ResultStore, default_store_path
+from repro.harness.runner import FLIGHT_DUMP_ENV
 from repro.harness.tables import format_table, rows_from_records
 from repro.metrics.report import records_to_csv, records_to_json
 
@@ -67,6 +69,10 @@ def _profile_path(name: str, args: argparse.Namespace, store: Optional[ResultSto
 
 
 def _run(name: str, args: argparse.Namespace, **options: Any) -> ExperimentResult:
+    if getattr(args, "flight_dump", None):
+        # The env var (not a parameter) so --jobs N worker processes
+        # inherit it; every red cell then leaves a dump in the directory.
+        os.environ[FLIGHT_DUMP_ENV] = args.flight_dump
     store = _store_from_args(args)
     profile_path = _profile_path(name, args, store)
     result = run_experiment(
@@ -173,7 +179,8 @@ def _cmd_ablations(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    """Wire-level view of a failover: tcpdump at the client's NIC."""
+    """A traced failover run: tcpdump at the client's NIC (``wire``) or
+    a Chrome trace-event export of the full record stream (``export``)."""
     from repro.apps.workload import echo_workload
     from repro.harness.calibrate import FAST_LAN
     from repro.harness.runner import run_workload
@@ -185,21 +192,67 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     scenario = Scenario(
         profile=FAST_LAN, sttcp=STTCPConfig(hb_interval=0.05), seed=args.seed
     )
-    dump = PacketDump(
-        scenario.sim,
-        predicate=lambda frame: frame.ethertype == ETHERTYPE_IPV4,
-    )
-    dump.attach_nic(scenario.client.nics[0], label="client")
+    dump = recording = None
+    if args.action == "wire":
+        dump = PacketDump(
+            scenario.sim,
+            predicate=lambda frame: frame.ethertype == ETHERTYPE_IPV4,
+        )
+        dump.attach_nic(scenario.client.nics[0], label="client")
+    else:
+        from repro.sim.trace import RecordingSink
+
+        recording = RecordingSink()
+        scenario.sim.trace.add_sink(recording)
     run = run_workload(
         echo_workload(args.exchanges),
         scenario=scenario,
         crash_at=0.102,
         deadline=120.0,
     )
+    if dump is not None:
+        print(
+            f"\n{dump.lines_emitted} frames at the client; "
+            f"run verified={run.result.verified}; the takeover at "
+            f"t≈{scenario.pair.backup_engine.takeover_time:.3f}s is invisible above."
+        )
+    else:
+        from repro.obs.export import write_chrome_trace
+
+        with open(args.out, "w") as handle:
+            count = write_chrome_trace(recording.records, handle)
+        print(
+            f"wrote {count} trace events to {args.out} "
+            f"(load in chrome://tracing or ui.perfetto.dev)"
+        )
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    """Phase decomposition of one failover (detection → takeover →
+    first-retransmission-accepted → resume), Figure 5-style run."""
+    from repro.apps.workload import echo_workload
+    from repro.harness.runner import CLIENT_START, DEFAULT_CRASH_FRACTION, run_workload
+    from repro.sttcp.config import STTCPConfig
+
+    workload = echo_workload(args.exchanges)
+    sttcp = STTCPConfig(hb_interval=args.hb)
+    baseline = run_workload(workload, sttcp=sttcp, seed=args.seed).require_clean()
+    crash_time = CLIENT_START + DEFAULT_CRASH_FRACTION * baseline.total_time
+    failed = run_workload(
+        workload,
+        sttcp=sttcp,
+        crash_at=crash_time,
+        seed=args.seed,
+        deadline=3600.0 + sttcp.detection_timeout() * 4,
+    ).require_clean()
+    if failed.timeline is None:
+        print("no failover observed (takeover or client-progress markers missing)")
+        return 1
+    print(failed.timeline.render())
     print(
-        f"\n{dump.lines_emitted} frames at the client; "
-        f"run verified={run.result.verified}; the takeover at "
-        f"t≈{scenario.pair.backup_engine.takeover_time:.3f}s is invisible above."
+        f"measured client-visible outage (RunResult.max_gap): "
+        f"{failed.result.max_gap * 1e3:.1f} ms"
     )
     return 0
 
@@ -228,7 +281,7 @@ def _cmd_drill(args: argparse.Namespace) -> int:
     from repro.drill import format_report, results_to_json, run_drill_path
     from repro.drill.report import format_failures
 
-    results = run_drill_path(args.path)
+    results = run_drill_path(args.path, flight_dump=args.flight_dump)
     print(format_report(results))
     failures = format_failures(results)
     if failures:
@@ -278,6 +331,12 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument("--json", metavar="PATH", help="export records as JSON")
         p.add_argument("--csv", metavar="PATH", help="export records as CSV")
+        p.add_argument(
+            "--flight-dump",
+            metavar="DIR",
+            help="dump the flight recorder (last trace records) of any red "
+            "run into DIR (CI uploads it as an artifact)",
+        )
 
     for name, fn, help_text in [
         ("table1", _cmd_table1, "Table 1: failure-free ST-TCP vs standard TCP"),
@@ -294,10 +353,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     figure5_parser.add_argument("--app", choices=["echo", "interactive"], default="echo")
 
-    trace = sub.add_parser("trace", help="tcpdump of a failover at the client")
-    trace.add_argument("--exchanges", type=int, default=10)
+    trace = sub.add_parser(
+        "trace", help="a traced failover: client tcpdump or Chrome trace export"
+    )
+    trace.add_argument(
+        "action",
+        nargs="?",
+        default="wire",
+        choices=["wire", "export"],
+        help="wire: tcpdump at the client (default); export: Chrome trace JSON",
+    )
+    # 30 exchanges outlive the scripted crash on FAST_LAN, so the default
+    # run always contains the takeover the command exists to show.
+    trace.add_argument("--exchanges", type=int, default=30)
     trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument(
+        "--out", metavar="PATH", default="trace.json", help="export destination"
+    )
     trace.set_defaults(fn=_cmd_trace)
+
+    timeline = sub.add_parser(
+        "timeline", help="phase decomposition of one failover (paper §6.2)"
+    )
+    timeline.add_argument("--exchanges", type=int, default=40)
+    timeline.add_argument("--hb", type=float, default=0.05, help="heartbeat interval (s)")
+    timeline.add_argument("--seed", type=int, default=7)
+    timeline.set_defaults(fn=_cmd_timeline)
 
     demo = sub.add_parser("demo", help="one measured failover, as a table")
     demo.add_argument("--hb", type=float, default=0.05, help="heartbeat interval (s)")
@@ -309,6 +390,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     drill.add_argument("path", help="a drill script, or a directory of *.py scripts")
     drill.add_argument("--json", metavar="PATH", help="write the result table as JSON")
+    drill.add_argument(
+        "--flight-dump",
+        metavar="DIR",
+        help="write each failing drill's flight-recorder dump into DIR",
+    )
     drill.set_defaults(fn=_cmd_drill)
     return parser
 

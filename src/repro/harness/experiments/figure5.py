@@ -80,6 +80,10 @@ def _run_cell(cell: GridCell) -> Record:
         "no_failure_time": sample["no_failure_time"],
         "failure_time": sample["failure_time"],
         "failover_time": sample["failover_time"],
+        # The outage window the timeline phases decompose (they sum to
+        # this, not to failover_time = added completion time).
+        "max_gap": sample["max_gap"],
+        "timeline": sample.get("timeline"),
     }
 
 

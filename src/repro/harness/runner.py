@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
+import os
 from typing import Optional
 
 from repro.apps.client import run_client
@@ -11,6 +12,8 @@ from repro.errors import ReproError
 from repro.harness.calibrate import PAPER_TESTBED, NetworkProfile
 from repro.harness.scenario import Scenario, TOPOLOGY_HUB
 from repro.metrics import perf
+from repro.obs.recorder import FlightRecorder
+from repro.obs.timeline import FailoverTimeline, TimelineCollector
 from repro.sttcp.config import STTCPConfig
 from repro.sttcp.manager import FailoverMetrics
 
@@ -20,6 +23,13 @@ CLIENT_START = 0.1
 #: Crash the primary at this fraction of the failure-free run by default.
 DEFAULT_CRASH_FRACTION = 0.5
 
+#: When set to a directory, every run carries a flight recorder and red
+#: runs (client error, corrupted data, simulation crash) dump their last
+#: trace records there.  An env var rather than a parameter so process
+#: pool workers inherit it without plumbing (CI sets it and uploads the
+#: directory as an artifact on failure).
+FLIGHT_DUMP_ENV = "REPRO_FLIGHT_DUMP"
+
 
 @dataclasses.dataclass
 class ExperimentRun:
@@ -28,6 +38,8 @@ class ExperimentRun:
     result: RunResult
     failover: Optional[FailoverMetrics]
     scenario: Scenario
+    #: Phase decomposition of the failover, when one was observed.
+    timeline: Optional[FailoverTimeline] = None
 
     @property
     def total_time(self) -> float:
@@ -40,6 +52,17 @@ class ExperimentRun:
         if not self.result.verified:
             raise ReproError("client received corrupted data")
         return self
+
+
+def _dump_flight(
+    flight: Optional[FlightRecorder], workload: AppWorkload, seed: int, reason: str
+) -> None:
+    directory = os.environ.get(FLIGHT_DUMP_ENV)
+    if flight is None or not directory:
+        return
+    os.makedirs(directory, exist_ok=True)
+    name = f"flight-{workload.name}-seed{seed}-pid{os.getpid()}.txt"
+    flight.dump_to(os.path.join(directory, name), reason=reason)
 
 
 def run_workload(
@@ -77,6 +100,11 @@ def run_workload(
     def launch() -> None:
         process_box.append(run_client(scenario.client, scenario.service_addr, workload))
 
+    collector = TimelineCollector().attach(scenario.sim.trace)
+    flight: Optional[FlightRecorder] = None
+    if os.environ.get(FLIGHT_DUMP_ENV):
+        flight = FlightRecorder()
+        scenario.sim.trace.add_sink(flight)
     launch_at = scenario.sim.now + CLIENT_START
     scenario.sim.schedule_at(launch_at, launch)
     scenario.sim.run(until=launch_at)
@@ -86,10 +114,25 @@ def run_workload(
         result: RunResult = scenario.sim.run_until_complete(
             process_box[0], deadline=deadline
         )
+    except BaseException:
+        _dump_flight(flight, workload, seed, "simulation crashed")
+        raise
     finally:
         perf.note_simulation(scenario.sim)
+        collector.detach()
+        if flight is not None:
+            scenario.sim.trace.remove_sink(flight)
+    if result.error is not None or not result.verified:
+        _dump_flight(
+            flight, workload, seed, result.error or "client received corrupted data"
+        )
     failover = scenario.pair.failover_metrics() if scenario.pair is not None else None
-    return ExperimentRun(result=result, failover=failover, scenario=scenario)
+    return ExperimentRun(
+        result=result,
+        failover=failover,
+        scenario=scenario,
+        timeline=collector.reconstruct(),
+    )
 
 
 def measure_failover_time(
@@ -129,4 +172,5 @@ def measure_failover_time(
         "takeover_latency": failed.failover.takeover_latency,
         "max_gap": failed.result.max_gap,
         "crash_time": crash_time,
+        "timeline": failed.timeline.summary() if failed.timeline else None,
     }

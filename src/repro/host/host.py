@@ -189,7 +189,7 @@ class Host:
         for process in self.processes:
             if process.alive:
                 process.kill()
-        if self.sim.trace.enabled:
+        if self.sim.trace.enabled_for("host"):
             self.sim.trace.emit(self.sim.now, "host", "crash", host=self.name)
 
     def restore(self) -> None:

@@ -34,13 +34,44 @@ class IPLayer:
         self.forwarding = False
         self._protocols: Dict[int, ProtocolHandler] = {}
         self._taps: List[TapHandler] = []
-        self.sent = 0
-        self.delivered = 0
-        self.forwarded = 0
-        self.dropped_no_route = 0
-        self.dropped_no_arp = 0
-        self.dropped_ttl = 0
-        self.dropped_not_local = 0
+        # Registry-backed counters (scoped <host>.ip.*); the read-only
+        # properties below preserve the historical attribute API.
+        metrics = sim.metrics.scope(f"{host.name}.ip")
+        self._c_sent = metrics.counter("sent")
+        self._c_delivered = metrics.counter("delivered")
+        self._c_forwarded = metrics.counter("forwarded")
+        self._c_dropped_no_route = metrics.counter("dropped_no_route")
+        self._c_dropped_no_arp = metrics.counter("dropped_no_arp")
+        self._c_dropped_ttl = metrics.counter("dropped_ttl")
+        self._c_dropped_not_local = metrics.counter("dropped_not_local")
+
+    @property
+    def sent(self) -> int:
+        return self._c_sent.value
+
+    @property
+    def delivered(self) -> int:
+        return self._c_delivered.value
+
+    @property
+    def forwarded(self) -> int:
+        return self._c_forwarded.value
+
+    @property
+    def dropped_no_route(self) -> int:
+        return self._c_dropped_no_route.value
+
+    @property
+    def dropped_no_arp(self) -> int:
+        return self._c_dropped_no_arp.value
+
+    @property
+    def dropped_ttl(self) -> int:
+        return self._c_dropped_ttl.value
+
+    @property
+    def dropped_not_local(self) -> int:
+        return self._c_dropped_not_local.value
 
     # Configuration -------------------------------------------------------------
     def register_protocol(self, protocol: int, handler: ProtocolHandler) -> None:
@@ -86,19 +117,19 @@ class IPLayer:
         if dst in self.host.local_ips():
             datagram = IPDatagram(src or dst, dst, protocol, payload, payload_size, ttl)
             self.sim.schedule(LOOPBACK_DELAY, self._local_deliver, datagram, None)
-            self.sent += 1
+            self._c_sent.value += 1
             return
         route = self.routes.lookup(dst)
         if route is None:
-            self.dropped_no_route += 1
-            if self.sim.trace.enabled:
+            self._c_dropped_no_route.value += 1
+            if self.sim.trace.enabled_for("ip"):
                 self.sim.trace.emit(
                     self.sim.now, "ip", "no_route", host=self.host.name, dst=str(dst)
                 )
             return
         source = src or route.src_ip or self.host.primary_ip_on(route.nic)
         datagram = IPDatagram(source, dst, protocol, payload, payload_size, ttl)
-        self.sent += 1
+        self._c_sent.value += 1
         self._transmit(datagram, route)
 
     def _transmit(self, datagram: IPDatagram, route: Route) -> None:
@@ -107,8 +138,8 @@ class IPLayer:
 
         def on_resolved(mac: Optional[MACAddress]) -> None:
             if mac is None:
-                self.dropped_no_arp += 1
-                if self.sim.trace.enabled:
+                self._c_dropped_no_arp.value += 1
+                if self.sim.trace.enabled_for("ip"):
                     self.sim.trace.emit(
                         self.sim.now,
                         "ip",
@@ -134,12 +165,12 @@ class IPLayer:
         if self.forwarding:
             self._forward(datagram, nic)
             return
-        self.dropped_not_local += 1
+        self._c_dropped_not_local.value += 1
 
     def _local_deliver(self, datagram: IPDatagram, nic: Optional[NIC]) -> None:
         handler = self._protocols.get(datagram.protocol)
         if handler is None:
-            if self.sim.trace.enabled:
+            if self.sim.trace.enabled_for("ip"):
                 self.sim.trace.emit(
                     self.sim.now,
                     "ip",
@@ -148,16 +179,16 @@ class IPLayer:
                     protocol=datagram.protocol,
                 )
             return
-        self.delivered += 1
+        self._c_delivered.value += 1
         handler(datagram, nic)
 
     def _forward(self, datagram: IPDatagram, in_nic: NIC) -> None:
         if datagram.ttl <= 1:
-            self.dropped_ttl += 1
+            self._c_dropped_ttl.value += 1
             return
         route = self.routes.lookup(datagram.dst)
         if route is None:
-            self.dropped_no_route += 1
+            self._c_dropped_no_route.value += 1
             return
         if route.nic is in_nic and route.next_hop is None:
             # Would go straight back out the arrival interface toward the
@@ -165,7 +196,7 @@ class IPLayer:
             # redirect.  Forward anyway (hosts on the segment ignore the
             # duplicate), but count it.
             pass
-        self.forwarded += 1
+        self._c_forwarded.value += 1
         self._transmit(datagram.decremented(), route)
 
 

@@ -5,6 +5,7 @@ from repro.metrics.collectors import (
     ChannelTraffic,
     ExperimentSample,
     HostTraffic,
+    registry_snapshot,
     summarize,
 )
 from repro.metrics.perf import PerfProbe
@@ -18,5 +19,6 @@ __all__ = [
     "SamplingProfiler",
     "perf",
     "profile",
+    "registry_snapshot",
     "summarize",
 ]

@@ -1,13 +1,22 @@
 """Metric collection from simulator components.
 
-Experiments read counters that components maintain anyway (NIC, layers,
-engines) and snapshot them here, so measurement adds no hot-path cost.
+Protocol-layer counters live in the simulator's metrics registry
+(:mod:`repro.obs.registry`) under ``<host>.<layer>.<name>``; components
+hold the instruments and bump them inline, so snapshotting here adds no
+hot-path cost.  NIC counters remain plain attributes.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from typing import Any, Dict, List, Optional
+
+
+def registry_snapshot(sim: Any, prefix: str = "") -> Dict[str, Any]:
+    """Flat ``<host>.<layer>.<name>`` → value view of every registered
+    instrument (histograms appear as summary dicts), optionally filtered
+    by a name prefix such as ``"backup.sttcp"``."""
+    return sim.metrics.snapshot(prefix)
 
 
 @dataclasses.dataclass
@@ -27,6 +36,7 @@ class HostTraffic:
 
     @classmethod
     def capture(cls, host: Any) -> "HostTraffic":
+        metrics = host.sim.metrics
         return cls(
             name=host.name,
             tx_frames=sum(nic.tx_frames for nic in host.nics),
@@ -35,9 +45,9 @@ class HostTraffic:
             rx_bytes=sum(nic.rx_bytes for nic in host.nics),
             rx_dropped_queue=sum(nic.rx_dropped_queue for nic in host.nics),
             rx_dropped_loss=sum(nic.rx_dropped_loss for nic in host.nics),
-            tcp_segments_demuxed=host.tcp.segments_demuxed,
-            tcp_resets_sent=host.tcp.resets_sent,
-            ip_forwarded=host.ip_layer.forwarded,
+            tcp_segments_demuxed=metrics.value(f"{host.name}.tcp.segments_demuxed"),
+            tcp_resets_sent=metrics.value(f"{host.name}.tcp.resets_sent"),
+            ip_forwarded=metrics.value(f"{host.name}.ip.forwarded"),
         )
 
 

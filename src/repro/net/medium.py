@@ -134,7 +134,7 @@ class Cable:
             self._shared_next_free = start + tx_time
         arrival = start + tx_time + self.delay
         if self.loss_model(frame, now):
-            if self.sim.trace.enabled:
+            if self.sim.trace.enabled_for("link"):
                 self.sim.trace.emit(now, "link", "drop", link=self.name, frame=frame.frame_id)
             return
         self.frames_carried += 1
@@ -223,7 +223,7 @@ class Hub:
         start = max(now, self._next_free)
         self._next_free = start + tx_time
         if self.loss_model(frame, now):
-            if self.sim.trace.enabled:
+            if self.sim.trace.enabled_for("link"):
                 self.sim.trace.emit(now, "link", "drop", link=self.name, frame=frame.frame_id)
             return
         self.frames_carried += 1

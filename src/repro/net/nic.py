@@ -111,7 +111,7 @@ class NIC(FrameReceiver):
         now = self.sim.now
         if self.rx_loss_model is not None and self.rx_loss_model(frame, now):
             self.rx_dropped_loss += 1
-            if self.sim.trace.enabled:
+            if self.sim.trace.enabled_for("nic"):
                 self.sim.trace.emit(
                     now, "nic", "rx_loss", nic=self.name, frame=frame.frame_id
                 )
@@ -121,7 +121,7 @@ class NIC(FrameReceiver):
             return
         if self.rx_queue_capacity and self._rx_pending >= self.rx_queue_capacity:
             self.rx_dropped_queue += 1
-            if self.sim.trace.enabled:
+            if self.sim.trace.enabled_for("nic"):
                 self.sim.trace.emit(
                     now, "nic", "rx_overflow", nic=self.name, frame=frame.frame_id
                 )

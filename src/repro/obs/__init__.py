@@ -1,0 +1,34 @@
+"""repro.obs — the unified observability layer.
+
+Four pieces (see docs/OBSERVABILITY.md):
+
+* :mod:`repro.obs.registry` — named counters/gauges/histograms with O(1)
+  hot-path increments, per-host scoping and delta snapshots;
+* :mod:`repro.obs.spans` — reassembles the Tracer's span begin/end
+  records into timed units (handshakes, retransmission bursts,
+  failovers);
+* :mod:`repro.obs.recorder` — the flight recorder: an always-cheap
+  bounded ring buffer of the last N trace records, dumped automatically
+  when a run goes red;
+* :mod:`repro.obs.timeline` / :mod:`repro.obs.export` — the paper's
+  failover phase decomposition, plus Chrome trace-event (Perfetto) and
+  JSONL export of any trace.
+"""
+
+from repro.obs.recorder import FlightRecorder
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import Span, assemble_spans
+from repro.obs.timeline import FailoverTimeline, TimelineCollector, reconstruct_failover
+
+__all__ = [
+    "Counter",
+    "FailoverTimeline",
+    "FlightRecorder",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "TimelineCollector",
+    "assemble_spans",
+    "reconstruct_failover",
+]

@@ -19,6 +19,7 @@ from repro.sim.events import (
     SimEvent,
     Timeout,
 )
+from repro.obs.registry import MetricsRegistry
 from repro.sim.process import Process
 from repro.sim.randomness import RandomStreams
 from repro.sim.scheduler import Scheduler
@@ -39,6 +40,7 @@ class Simulator:
         self._scheduler = Scheduler()
         self.random = RandomStreams(seed)
         self.trace = Tracer()
+        self.metrics = MetricsRegistry()
         self._processes: List[Process] = []
 
     # Time ----------------------------------------------------------------

@@ -2,11 +2,25 @@
 
 Components emit structured trace records through the simulator's
 :class:`Tracer`.  Tracing is off by default and costs a single attribute
-check per emit when disabled, so it can be left in hot paths.
+check per emit when disabled, so it can be left in hot paths.  Hot paths
+that must build kwargs (segment summaries, formatted addresses) should
+guard with :meth:`Tracer.enabled_for` so the whole call is skipped when
+no sink subscribed to the category::
 
-Records are ``(time, category, event, fields)`` tuples; sinks decide how to
-render or store them.  Tests use :class:`RecordingSink` to assert on
+    if self.sim.trace.enabled_for("tcp"):
+        self.sim.trace.emit(self.sim.now, "tcp", "send", seg=segment)
+
+Records are ``(time, category, event, fields)`` tuples; sinks decide how
+to render or store them.  Tests use :class:`RecordingSink` to assert on
 protocol behaviour without reaching into private state.
+
+**Spans.**  Multi-event episodes (a handshake, a retransmission burst, a
+failover) are traced as *span* begin/end pairs: two ordinary records
+whose fields carry the reserved keys ``span`` (``"B"``/``"E"``), ``sid``
+(the span id) and optionally ``psid`` (the parent span id).  Sinks that
+do not care see two normal records; :mod:`repro.obs.spans` reassembles
+them into timed units post-hoc, and :mod:`repro.obs.export` renders them
+as Chrome trace-event slices.
 """
 
 from __future__ import annotations
@@ -23,6 +37,13 @@ class TraceRecord(NamedTuple):
 
 Sink = Callable[[TraceRecord], None]
 
+#: Reserved field keys of the span protocol (see module docstring).
+SPAN_KEY = "span"
+SPAN_ID_KEY = "sid"
+SPAN_PARENT_KEY = "psid"
+SPAN_BEGIN = "B"
+SPAN_END = "E"
+
 
 class Tracer:
     """Dispatches trace records to registered sinks, filtered by category.
@@ -34,13 +55,20 @@ class Tracer:
     sink re-tightens the filter.
     """
 
-    __slots__ = ("_sinks", "_sink_categories", "enabled", "_category_filter")
+    __slots__ = (
+        "_sinks",
+        "_sink_categories",
+        "enabled",
+        "_category_filter",
+        "_next_span_id",
+    )
 
     def __init__(self) -> None:
         self._sinks: List[Sink] = []
         self._sink_categories: List[Optional[frozenset]] = []
         self.enabled = False
         self._category_filter: Optional[set] = None
+        self._next_span_id = 0
 
     def add_sink(self, sink: Sink, categories: Optional[List[str]] = None) -> None:
         """Register a sink; enables tracing as a side effect."""
@@ -70,19 +98,65 @@ class Tracer:
                 union |= categories  # type: ignore[arg-type]
             self._category_filter = union
 
+    def enabled_for(self, category: str) -> bool:
+        """True when at least one registered sink wants ``category``.
+
+        The guard for hot paths whose *kwargs* are expensive to build:
+        checking here first skips the segment summary / address
+        formatting entirely when nobody is listening.
+        """
+        if not self.enabled:
+            return False
+        category_filter = self._category_filter
+        return category_filter is None or category in category_filter
+
     def emit(self, time: float, category: str, event: str, **fields: Any) -> None:
         if not self.enabled:
             return
         if self._category_filter is not None and category not in self._category_filter:
             return
-        record = TraceRecord(time, category, event, fields)
         # The union filter above is only the fast path; each sink still
         # sees exclusively its own categories (a sink registered for
         # ["tcp"] must not receive "link" records merely because another
-        # sink subscribed to them).
+        # sink subscribed to them).  The record is built lazily, on the
+        # first sink that matches.
+        record: Optional[TraceRecord] = None
         for sink, categories in zip(self._sinks, self._sink_categories):
             if categories is None or category in categories:
+                if record is None:
+                    record = TraceRecord(time, category, event, fields)
                 sink(record)
+
+    # Spans -----------------------------------------------------------------
+    def begin_span(
+        self,
+        time: float,
+        category: str,
+        name: str,
+        parent: Optional[int] = None,
+        **fields: Any,
+    ) -> int:
+        """Open a span; returns its id (pass to :meth:`end_span`).
+
+        Ids are allocated from a per-tracer counter, so a deterministic
+        simulation produces identical span ids run to run.
+        """
+        self._next_span_id += 1
+        sid = self._next_span_id
+        fields[SPAN_KEY] = SPAN_BEGIN
+        fields[SPAN_ID_KEY] = sid
+        if parent is not None:
+            fields[SPAN_PARENT_KEY] = parent
+        self.emit(time, category, name, **fields)
+        return sid
+
+    def end_span(
+        self, time: float, category: str, name: str, sid: int, **fields: Any
+    ) -> None:
+        """Close the span ``sid`` (a :meth:`begin_span` return value)."""
+        fields[SPAN_KEY] = SPAN_END
+        fields[SPAN_ID_KEY] = sid
+        self.emit(time, category, name, **fields)
 
 
 class RecordingSink:
@@ -104,6 +178,48 @@ class RecordingSink:
         self.records.clear()
 
 
+#: Rendered field values longer than this are truncated with an ellipsis
+#: so a long payload repr cannot wrap a drill report or flight dump.
+MAX_FIELD_WIDTH = 60
+
+
+def format_field(value: Any) -> str:
+    """Canonical rendering of one trace field value.
+
+    * TCP segments render through :meth:`TCPSegment.summary` — the same
+      ``flags seq:end(len) ack win`` format tcpdump and the drill
+      diagnostics use, so a segment reads identically everywhere;
+    * floats use ``%g`` (no ``0.30000000000000004`` noise);
+    * bytes use ``repr`` (they are payload, not text);
+    * everything is capped at :data:`MAX_FIELD_WIDTH` characters.
+    """
+    # Duck-typed so the sim layer does not import the tcp layer: only
+    # TCPSegment carries both of these methods.
+    if hasattr(value, "flag_string") and hasattr(value, "summary"):
+        text = value.summary()
+    elif isinstance(value, float):
+        text = f"{value:g}"
+    elif isinstance(value, (bytes, bytearray)):
+        text = repr(value)
+    else:
+        text = str(value)
+    if len(text) > MAX_FIELD_WIDTH:
+        text = text[: MAX_FIELD_WIDTH - 1] + "…"
+    return text
+
+
+def format_record(record: TraceRecord, prefix: str = "") -> str:
+    """One canonical line per record, shared by :class:`PrintSink` and
+    the flight recorder so dumps and live output read the same."""
+    fields = " ".join(
+        f"{key}={format_field(value)}" for key, value in record.fields.items()
+    )
+    return (
+        f"{prefix}[{record.time:12.6f}] {record.category}/{record.event}"
+        + (f" {fields}" if fields else "")
+    )
+
+
 class PrintSink:
     """Renders trace records to stdout; handy in examples."""
 
@@ -111,7 +227,4 @@ class PrintSink:
         self.prefix = prefix
 
     def __call__(self, record: TraceRecord) -> None:
-        fields = " ".join(f"{key}={value}" for key, value in record.fields.items())
-        print(
-            f"{self.prefix}[{record.time:12.6f}] {record.category}/{record.event} {fields}"
-        )
+        print(format_record(record, prefix=self.prefix))

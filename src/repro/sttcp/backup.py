@@ -53,6 +53,7 @@ class _ShadowConnState:
         "pending_retx",
         "primary_rcv_nxt",
         "primary_snd_nxt",
+        "convergence_sid",
     )
 
     def __init__(self, tcb: TCPConnection, now: float) -> None:
@@ -62,6 +63,8 @@ class _ShadowConnState:
         self.pending_retx: Optional[tuple] = None  # (start_abs, stop_abs, at)
         self.primary_rcv_nxt: Optional[int] = None  # abs, from tapped ACKs
         self.primary_snd_nxt: Optional[int] = None  # abs, from tapped data
+        #: Open shadow_convergence span id (None once converged/untraced).
+        self.convergence_sid: Optional[int] = None
 
 
 class STTCPBackup:
@@ -121,11 +124,31 @@ class STTCPBackup:
         )
         self._sync_timer = RestartableTimer(self.sim, self._on_sync_tick, "backup-sync")
         self._hb_timer = RestartableTimer(self.sim, self._send_heartbeat, "backup-hb")
-        # Counters.
-        self.acks_sent = 0
-        self.retx_requests_sent = 0
-        self.retx_bytes_recovered = 0
-        self.logger_bytes_recovered = 0
+        # Registry-backed counters (scoped <host>.sttcp.*); the read-only
+        # properties below preserve the historical attribute API.
+        metrics = self.sim.metrics.scope(f"{host.name}.sttcp")
+        self._c_acks_sent = metrics.counter("acks_sent")
+        self._c_retx_requests_sent = metrics.counter("retx_requests_sent")
+        self._c_retx_bytes_recovered = metrics.counter("retx_bytes_recovered")
+        self._c_logger_bytes_recovered = metrics.counter("logger_bytes_recovered")
+        #: Open takeover-episode span id (suspicion → active role).
+        self._takeover_sid: Optional[int] = None
+
+    @property
+    def acks_sent(self) -> int:
+        return self._c_acks_sent.value
+
+    @property
+    def retx_requests_sent(self) -> int:
+        return self._c_retx_requests_sent.value
+
+    @property
+    def retx_bytes_recovered(self) -> int:
+        return self._c_retx_bytes_recovered.value
+
+    @property
+    def logger_bytes_recovered(self) -> int:
+        return self._c_logger_bytes_recovered.value
 
     # Lifecycle -------------------------------------------------------------------
     def start(self) -> None:
@@ -149,11 +172,18 @@ class STTCPBackup:
         state = _ShadowConnState(tcb, self.sim.now)
         self._connections[conn_key(tcb.remote_ip, tcb.remote_port)] = state
         tcb.on_rcv_advance = lambda _rcv, s=state: self._on_stream_advance(s)
-        if self.sim.trace.enabled:
+        if self.sim.trace.enabled_for("sttcp"):
             self.sim.trace.emit(
                 self.sim.now,
                 "sttcp",
                 "shadow_attach",
+                client=f"{tcb.remote_ip}:{tcb.remote_port}",
+            )
+            # Converges once the shadow is ESTABLISHED on the primary's ISN.
+            state.convergence_sid = self.sim.trace.begin_span(
+                self.sim.now,
+                "sttcp",
+                "shadow_convergence",
                 client=f"{tcb.remote_ip}:{tcb.remote_port}",
             )
 
@@ -173,6 +203,11 @@ class STTCPBackup:
         if self.role is not ROLE_PASSIVE:
             return
         tcb = state.tcb
+        if state.convergence_sid is not None and tcb.isn_rebased and tcb.is_synchronized:
+            self.sim.trace.end_span(
+                self.sim.now, "sttcp", "shadow_convergence", state.convergence_sid
+            )
+            state.convergence_sid = None
         received = tcb.recv_buffer.rcv_nxt_offset - state.last_acked_offset
         if received >= self._ack_threshold(tcb):
             self._send_backup_ack(state)
@@ -197,7 +232,7 @@ class STTCPBackup:
     def _send_backup_ack(self, state: _ShadowConnState) -> None:
         tcb = state.tcb
         key = conn_key(tcb.remote_ip, tcb.remote_port)
-        self.acks_sent += 1
+        self._c_acks_sent.value += 1
         self._send(BackupAck(key, wrap(tcb.rcv_nxt)))
         state.last_acked_offset = tcb.recv_buffer.rcv_nxt_offset
         state.last_ack_time = self.sim.now
@@ -267,7 +302,7 @@ class STTCPBackup:
         )
         if tcb is None:
             return None
-        if self.sim.trace.enabled:
+        if self.sim.trace.enabled_for("sttcp"):
             self.sim.trace.emit(
                 self.sim.now,
                 "sttcp",
@@ -288,7 +323,7 @@ class STTCPBackup:
                 # Only the new tail needs asking for.
                 start_abs = max(start_abs, pending_stop)
         key = conn_key(state.tcb.remote_ip, state.tcb.remote_port)
-        self.retx_requests_sent += 1
+        self._c_retx_requests_sent.value += 1
         self._send(RetxRequest(key, wrap(start_abs), wrap(stop_abs)))
         state.pending_retx = (start_abs, stop_abs, self.sim.now)
 
@@ -331,13 +366,22 @@ class STTCPBackup:
         if self._deferred_takeover is not None:
             self._deferred_takeover.cancel()
             self._deferred_takeover = None
+        if self._takeover_sid is not None:
+            self.sim.trace.end_span(
+                self.sim.now,
+                "sttcp",
+                "takeover_episode",
+                self._takeover_sid,
+                outcome="stood_down",
+            )
+            self._takeover_sid = None
         self.role = ROLE_PASSIVE
         self.primary_monitor.start()  # fresh grace period for the new primary
         if not self._hb_timer.running:
             self._hb_timer.start(self.config.hb_interval)
         if not self._sync_timer.running:
             self._sync_timer.start(self.config.effective_sync_time())
-        if self.sim.trace.enabled:
+        if self.sim.trace.enabled_for("sttcp"):
             self.sim.trace.emit(
                 self.sim.now, "sttcp", "adopt_new_primary", primary=str(source), rank=self.rank
             )
@@ -347,7 +391,7 @@ class STTCPBackup:
         if state is None:
             return
         self._inject_payload(state.tcb, unwrap(data.seq, state.tcb.rcv_nxt), data.payload)
-        self.retx_bytes_recovered += len(data.payload)
+        self._c_retx_bytes_recovered.value += len(data.payload)
         if state.pending_retx is not None and state.tcb.rcv_nxt >= state.pending_retx[1]:
             state.pending_retx = None
 
@@ -367,9 +411,12 @@ class STTCPBackup:
             return
         self.role = ROLE_TAKING_OVER
         self.detection_time = self.sim.now
-        if self.sim.trace.enabled:
+        if self.sim.trace.enabled_for("sttcp"):
             self.sim.trace.emit(
                 self.sim.now, "sttcp", "primary_suspected", rank=self.rank
+            )
+            self._takeover_sid = self.sim.trace.begin_span(
+                self.sim.now, "sttcp", "takeover_episode", rank=self.rank
             )
         if self.rank > 0:
             # Defer: a higher-priority backup gets first claim; if its
@@ -432,7 +479,7 @@ class STTCPBackup:
         if state is not None:
             seq_abs = unwrap(seq32, state.tcb.rcv_nxt)
             self._inject_payload(state.tcb, seq_abs, payload)
-            self.logger_bytes_recovered += len(payload)
+            self._c_logger_bytes_recovered.value += len(payload)
 
     def _on_logger_done(self) -> None:
         for key, _start, stop in self._find_gaps():
@@ -460,7 +507,7 @@ class STTCPBackup:
             state.tcb.takeover()
         if self.peer_backup_ips:
             self._promote_to_primary()
-        if self.sim.trace.enabled:
+        if self.sim.trace.enabled_for("sttcp"):
             self.sim.trace.emit(
                 self.sim.now,
                 "sttcp",
@@ -468,6 +515,16 @@ class STTCPBackup:
                 connections=len(self._connections),
                 degraded=len(self.degraded_connections),
             )
+        if self._takeover_sid is not None:
+            self.sim.trace.end_span(
+                self.sim.now,
+                "sttcp",
+                "takeover_episode",
+                self._takeover_sid,
+                connections=len(self._connections),
+                degraded=len(self.degraded_connections),
+            )
+            self._takeover_sid = None
 
     def _promote_to_primary(self) -> None:
         """Become a full primary serving the remaining backups: attach
@@ -486,7 +543,7 @@ class STTCPBackup:
             engine.adopt_connection(state.tcb)
         engine.start()
         self.promoted_primary = engine
-        if self.sim.trace.enabled:
+        if self.sim.trace.enabled_for("sttcp"):
             self.sim.trace.emit(
                 self.sim.now, "sttcp", "promoted", peers=len(self.peer_backup_ips)
             )

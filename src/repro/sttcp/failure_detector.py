@@ -78,9 +78,18 @@ class HeartbeatMonitor:
             self.suspected = True
             self.suspected_at = self.sim.now
             self._running = False
-            if self.sim.trace.enabled:
-                self.sim.trace.emit(
+            trace = self.sim.trace
+            if trace.enabled_for("sttcp"):
+                # Retroactive detection span: the silent interval itself,
+                # [last evidence of life, suspicion].
+                sid = trace.begin_span(
+                    self.last_heard or 0.0, "sttcp", "detection", monitor=self.name
+                )
+                trace.emit(
                     self.sim.now, "sttcp", "suspect", monitor=self.name, silence=silence
+                )
+                trace.end_span(
+                    self.sim.now, "sttcp", "detection", sid, silence=silence
                 )
             self.on_suspect()
             return

@@ -33,7 +33,7 @@ class PowerSwitch:
             self.cuts_performed += 1
             if host.is_up:
                 host.crash()
-            if self.sim.trace.enabled:
+            if self.sim.trace.enabled_for("sttcp"):
                 self.sim.trace.emit(self.sim.now, "sttcp", "stonith", host=host.name)
             if done is not None:
                 done()

@@ -102,10 +102,26 @@ class STTCPPrimary:
                 name=f"{host.name}.backup-monitor.{ip_addr}",
             )
         host.tcp.connection_observers.append(self._on_new_connection)
-        # Counters.
-        self.acks_received = 0
-        self.retx_requests_served = 0
-        self.retx_bytes_sent = 0
+        # Registry-backed counters (scoped <host>.sttcp.*); the read-only
+        # properties below preserve the historical attribute API.
+        metrics = self.sim.metrics.scope(f"{host.name}.sttcp")
+        self._c_acks_received = metrics.counter("acks_received")
+        self._c_retx_requests_served = metrics.counter("retx_requests_served")
+        self._c_retx_bytes_sent = metrics.counter("retx_bytes_sent")
+        #: Open fault-tolerant-mode span id (start → last backup lost).
+        self._ft_sid: Optional[int] = None
+
+    @property
+    def acks_received(self) -> int:
+        return self._c_acks_received.value
+
+    @property
+    def retx_requests_served(self) -> int:
+        return self._c_retx_requests_served.value
+
+    @property
+    def retx_bytes_sent(self) -> int:
+        return self._c_retx_bytes_sent.value
 
     # Lifecycle --------------------------------------------------------------------
     def start(self) -> None:
@@ -113,6 +129,10 @@ class STTCPPrimary:
         if self._started:
             return
         self._started = True
+        if self.sim.trace.enabled_for("sttcp"):
+            self._ft_sid = self.sim.trace.begin_span(
+                self.sim.now, "sttcp", "fault_tolerant", backups=len(self.backup_ips)
+            )
         for monitor in self.backup_monitors.values():
             monitor.start()
         self._hb_timer.start(self.config.hb_interval)
@@ -145,7 +165,7 @@ class STTCPPrimary:
         self._connections[conn_key(tcb.remote_ip, tcb.remote_port)] = _PrimaryConnState(
             tcb, retention
         )
-        if self.sim.trace.enabled:
+        if self.sim.trace.enabled_for("sttcp"):
             self.sim.trace.emit(
                 self.sim.now,
                 "sttcp",
@@ -202,7 +222,7 @@ class STTCPPrimary:
         # Heartbeats carry liveness only.
 
     def _handle_backup_ack(self, ack: BackupAck, source: IPAddress) -> None:
-        self.acks_received += 1
+        self._c_acks_received.value += 1
         state = self._connections.get(ack.key)
         if state is not None:
             tcb = state.tcb
@@ -241,12 +261,12 @@ class STTCPPrimary:
         data = tcb.fetch_received_range(start_offset, stop_offset)
         if len(data) == 0:
             return
-        self.retx_requests_served += 1
+        self._c_retx_requests_served.value += 1
         # Chunk into frame-sized RETX_DATA messages.
         for piece_start in range(0, len(data), RETX_CHUNK):
             piece = data.slice(piece_start, min(piece_start + RETX_CHUNK, len(data)))
             seq32 = (start_abs + piece_start) & 0xFFFFFFFF
-            self.retx_bytes_sent += len(piece)
+            self._c_retx_bytes_sent.value += len(piece)
             self._send(RetxData(request.key, seq32, piece), source)
 
     # Backup failure ---------------------------------------------------------------------
@@ -255,7 +275,7 @@ class STTCPPrimary:
         to non-fault-tolerant mode (§4.4)."""
         if not self.host.is_up:
             return
-        if self.sim.trace.enabled:
+        if self.sim.trace.enabled_for("sttcp"):
             self.sim.trace.emit(
                 self.sim.now, "sttcp", "backup_suspected", remaining=len(self.live_backup_values())
             )
@@ -273,5 +293,10 @@ class STTCPPrimary:
             if state.tcb.is_synchronized:
                 state.tcb._maybe_send_window_update(0)
         self._hb_timer.stop()
-        if self.sim.trace.enabled:
+        if self.sim.trace.enabled_for("sttcp"):
             self.sim.trace.emit(self.sim.now, "sttcp", "non_fault_tolerant_mode")
+        if self._ft_sid is not None:
+            self.sim.trace.end_span(
+                self.sim.now, "sttcp", "fault_tolerant", self._ft_sid
+            )
+            self._ft_sid = None

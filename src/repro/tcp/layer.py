@@ -46,10 +46,27 @@ class TCPLayer:
         self.connection_observers: List[ConnectionCallback] = []
         #: Answer unmatched segments with RST (real-stack behaviour).
         self.reset_on_unmatched = True
-        self.segments_demuxed = 0
-        self.segments_unmatched = 0
-        self.resets_sent = 0
+        # Registry-backed counters (scoped <host>.tcp.*); the read-only
+        # properties below preserve the historical attribute API.
+        metrics = sim.metrics.scope(f"{host.name}.tcp")
+        self._c_segments_demuxed = metrics.counter("segments_demuxed")
+        self._c_segments_unmatched = metrics.counter("segments_unmatched")
+        self._c_resets_sent = metrics.counter("resets_sent")
+        #: RTT samples (Karn-filtered) across all connections of the host.
+        self.rtt_samples = metrics.histogram("rtt")
         host.ip_layer.register_protocol(PROTO_TCP, self._receive)
+
+    @property
+    def segments_demuxed(self) -> int:
+        return self._c_segments_demuxed.value
+
+    @property
+    def segments_unmatched(self) -> int:
+        return self._c_segments_unmatched.value
+
+    @property
+    def resets_sent(self) -> int:
+        return self._c_resets_sent.value
 
     # ISN ----------------------------------------------------------------------
     def generate_isn(self) -> int:
@@ -146,7 +163,7 @@ class TCPLayer:
         key = (datagram.dst.value, segment.dst_port, datagram.src.value, segment.src_port)
         tcb = self._connections.get(key)
         if tcb is not None:
-            self.segments_demuxed += 1
+            self._c_segments_demuxed.value += 1
             tcb.on_segment(segment)
             return
         if segment.is_syn and not segment.is_ack:
@@ -154,7 +171,7 @@ class TCPLayer:
             if listener is not None and listener.may_accept_syn():
                 self._passive_open(listener, datagram, segment)
                 return
-        self.segments_unmatched += 1
+        self._c_segments_unmatched.value += 1
         if self.reset_on_unmatched and not segment.is_rst:
             self._send_unmatched_rst(datagram, segment)
 
@@ -222,7 +239,7 @@ class TCPLayer:
         else:
             answer = (segment.seq + segment.sequence_space_length) & SEQ_MASK
             rst = make_rst(segment.dst_port, segment.src_port, 0, answer, True)
-        self.resets_sent += 1
+        self._c_resets_sent.value += 1
         self.host.ip_layer.send(
             datagram.src, PROTO_TCP, rst, rst.size, src=datagram.dst
         )

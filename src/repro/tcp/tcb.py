@@ -166,6 +166,14 @@ class TCPConnection:
         self.dupacks_received = 0
         self.error: Optional[BaseException] = None
 
+        # Span bookkeeping (None while no episode is open).
+        self._handshake_sid: Optional[int] = None
+        self._retx_sid: Optional[int] = None
+        #: Set by :meth:`takeover`; the next accepted client segment emits
+        #: the failover/first_ack marker (the paper's "first
+        #: retransmission accepted" instant).
+        self._awaiting_first_ack = False
+
     # ------------------------------------------------------------------ utils
     @property
     def key(self) -> tuple:
@@ -200,7 +208,7 @@ class TCPConnection:
         return self.recv_buffer.available
 
     def _trace(self, event: str, **fields: Any) -> None:
-        if self.sim.trace.enabled:
+        if self.sim.trace.enabled_for("tcp"):
             self.sim.trace.emit(
                 self.sim.now,
                 "tcp",
@@ -212,6 +220,23 @@ class TCPConnection:
                 **fields,
             )
 
+    def _begin_span(self, name: str, **fields: Any) -> Optional[int]:
+        trace = self.sim.trace
+        if not trace.enabled_for("tcp"):
+            return None
+        return trace.begin_span(
+            self.sim.now,
+            "tcp",
+            name,
+            host=self.layer.host.name,
+            remote=f"{self.remote_ip}:{self.remote_port}",
+            **fields,
+        )
+
+    def _end_span(self, name: str, sid: Optional[int], **fields: Any) -> None:
+        if sid is not None:
+            self.sim.trace.end_span(self.sim.now, "tcp", name, sid, **fields)
+
     # ------------------------------------------------------------- opening
     def open_active(self) -> None:
         """Client-side connect: send SYN, enter SYN_SENT."""
@@ -219,6 +244,7 @@ class TCPConnection:
             raise ConnectionClosed(f"open_active in state {self.state}")
         self._choose_isn()
         self.state = TCPState.SYN_SENT
+        self._handshake_sid = self._begin_span("handshake", kind="active")
         self._send_syn(with_ack=False)
         self._arm_rto()
         self._trace("active_open")
@@ -237,6 +263,7 @@ class TCPConnection:
             self.use_timestamps = True
             self._last_ts_recv = syn.ts_val
         self.state = TCPState.SYN_RCVD
+        self._handshake_sid = self._begin_span("handshake", kind="passive")
         self._send_syn(with_ack=True)
         self._arm_rto()
         self._trace("passive_open")
@@ -431,11 +458,11 @@ class TCPConnection:
     def _transmit(self, segment: TCPSegment) -> None:
         if self.suppress_output:
             self.suppressed_segments += 1
-            self._trace("suppressed", seg=segment.summary())
+            self._trace("suppressed", seg=segment)
             return
         self.segments_sent += 1
         self.bytes_sent += segment.payload_length
-        self._trace("send", seg=segment.summary())
+        self._trace("send", seg=segment)
         self.layer.send_segment(self, segment)
 
     # ------------------------------------------------------------ ACK emission
@@ -527,6 +554,10 @@ class TCPConnection:
             self._dupacks = 0
             if self.snd_una < self.snd_max:
                 self._rto_recovery_point = self.snd_max
+        if self._retx_sid is None:
+            self._retx_sid = self._begin_span(
+                "retx_burst", cause="rto", flight=self.flight_size
+            )
         self._retransmit_head()
         self._arm_rto()
 
@@ -594,7 +625,11 @@ class TCPConnection:
     def on_segment(self, segment: TCPSegment) -> None:
         """Process one inbound (or tapped/injected) segment."""
         self.segments_received += 1
-        self._trace("recv", seg=segment.summary())
+        self._trace("recv", seg=segment)
+        if self._awaiting_first_ack:
+            # Post-takeover, suppression is lifted, so this segment came
+            # from the client itself: its retransmission reached us.
+            self._note_failover_progress(segment.payload_length)
         if self.on_segment_observed is not None:
             self.on_segment_observed(segment)
         if segment.ts_val is not None and self.use_timestamps:
@@ -650,6 +685,8 @@ class TCPConnection:
             self._update_send_window(segment, self.irs, ack_abs)
             self.state = TCPState.ESTABLISHED
             self._trace("established")
+            self._end_span("handshake", self._handshake_sid)
+            self._handshake_sid = None
             self.ack_now()
             if self.on_established is not None:
                 self.on_established()
@@ -723,6 +760,8 @@ class TCPConnection:
                 )
                 self._update_send_window(segment, seq_abs, ack_abs, force=True)
                 self._trace("established")
+                self._end_span("handshake", self._handshake_sid)
+                self._handshake_sid = None
                 if ack_abs > self.snd_una:
                     self.snd_una = ack_abs
                 if self.on_established is not None:
@@ -787,7 +826,9 @@ class TCPConnection:
                 self.on_writable()
         # RTT sample (Karn-protected: _timing is cleared on retransmission).
         if self._timing is not None and ack_abs >= self._timing[0]:
-            self.rtt.on_measurement(self.sim.now - self._timing[1])
+            sample = self.sim.now - self._timing[1]
+            self.rtt.on_measurement(sample)
+            self.layer.rtt_samples.observe(sample)
             self._timing = None
         # Congestion control.
         if self.cc.in_fast_recovery:
@@ -816,7 +857,29 @@ class TCPConnection:
         else:
             self.rto_timer.stop()
             self._rto_recovery_point = None
+        if (
+            self._retx_sid is not None
+            and self._rto_recovery_point is None
+            and not self.cc.in_fast_recovery
+        ):
+            self._end_span("retx_burst", self._retx_sid, retransmissions=self.retransmissions)
+            self._retx_sid = None
         self.try_output()
+
+    def _note_failover_progress(self, amount: int) -> None:
+        """First client segment accepted after takeover — the instant the
+        paper calls "first retransmission accepted" (end of RTO wait)."""
+        self._awaiting_first_ack = False
+        trace = self.sim.trace
+        if trace.enabled_for("failover"):
+            trace.emit(
+                self.sim.now,
+                "failover",
+                "first_ack",
+                host=self.layer.host.name,
+                remote=f"{self.remote_ip}:{self.remote_port}",
+                amount=amount,
+            )
 
     def _handle_duplicate_ack(self) -> None:
         self.dupacks_received += 1
@@ -829,6 +892,10 @@ class TCPConnection:
             self._fast_recovery_point = self.snd_max
             self.cc.enter_fast_recovery(self.flight_size)
             self._timing = None
+            if self._retx_sid is None:
+                self._retx_sid = self._begin_span(
+                    "retx_burst", cause="dupacks", flight=self.flight_size
+                )
             self._retransmit_head()
             self._arm_rto()
 
@@ -973,6 +1040,11 @@ class TCPConnection:
         ):
             timer.stop()
         self.layer.connection_closed(self)
+        # Crash mid-span: close any open episode so the trace stays paired.
+        self._end_span("handshake", self._handshake_sid, outcome="closed")
+        self._handshake_sid = None
+        self._end_span("retx_burst", self._retx_sid, outcome="closed")
+        self._retx_sid = None
         self._trace("closed", previous=previous.value, error=repr(error))
         if error is not None and self.on_error is not None:
             self.on_error(error)
@@ -1006,6 +1078,7 @@ class TCPConnection:
         if not self.suppress_output:
             return
         self.suppress_output = False
+        self._awaiting_first_ack = True
         self._trace("takeover", flight=self.flight_size)
         if self.state is TCPState.CLOSED:
             return

@@ -122,3 +122,55 @@ def test_trace_command_shows_wire_view(capsys):
     data_lines = [l for l in out.splitlines() if " win " in l]
     assert data_lines
     assert all("10.0.0.100.8000" in line for line in data_lines)
+
+
+def test_timeline_command_prints_phase_decomposition(capsys):
+    assert main(["timeline", "--exchanges", "30", "--hb", "0.05", "--seed", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "failover timeline" in out
+    assert "phase detection" in out
+    assert "phase takeover" in out
+    assert "sum of phases" in out
+    assert "measured client-visible outage" in out
+    # The rendered sum and the measured outage agree to the 0.1 ms digit.
+    rendered = [l for l in out.splitlines() if "sum of phases" in l][0]
+    measured = [l for l in out.splitlines() if "measured" in l][0]
+    assert rendered.split(":")[1].split("ms")[0].strip() in measured
+
+
+def test_drill_flight_dump_flag(tmp_path, capsys):
+    from pathlib import Path
+
+    broken = Path(__file__).parent.parent / "drill" / "broken" / "b01_wrong_ack.py"
+    dumps = tmp_path / "dumps"
+    assert main(["drill", str(broken), "--flight-dump", str(dumps)]) == 1
+    out = capsys.readouterr().out
+    assert "field ack: expected 2, actual 1" in out  # diagnostics unchanged
+    assert (dumps / "b01_wrong_ack.flight.txt").exists()
+
+
+def test_flight_dump_env_round_trip(tmp_path, monkeypatch):
+    """A red harness run leaves a dump when REPRO_FLIGHT_DUMP is set."""
+    from repro.apps.workload import echo_workload
+    from repro.errors import SimulationError
+    from repro.harness.runner import FLIGHT_DUMP_ENV, run_workload
+
+    monkeypatch.setenv(FLIGHT_DUMP_ENV, str(tmp_path))
+    # Deadline far too short: the simulation dies mid-run.
+    with pytest.raises(SimulationError):
+        run_workload(echo_workload(500), seed=4, deadline=0.15)
+    dumps = list(tmp_path.glob("flight-*.txt"))
+    assert len(dumps) == 1
+    assert "=== flight recorder dump: simulation crashed" in dumps[0].read_text()
+
+
+def test_no_flight_dump_without_env(tmp_path, monkeypatch):
+    from repro.apps.workload import echo_workload
+    from repro.errors import SimulationError
+    from repro.harness.runner import FLIGHT_DUMP_ENV, run_workload
+
+    monkeypatch.delenv(FLIGHT_DUMP_ENV, raising=False)
+    monkeypatch.chdir(tmp_path)
+    with pytest.raises(SimulationError):
+        run_workload(echo_workload(500), seed=4, deadline=0.15)
+    assert list(tmp_path.glob("flight-*.txt")) == []

@@ -1,0 +1,131 @@
+"""Tests for span assembly: nesting, orphan ends, open spans."""
+
+from repro.obs.spans import assemble_spans, is_span_record, render_span_tree
+from repro.sim.trace import RecordingSink, Tracer
+
+
+def _traced(fn):
+    tracer = Tracer()
+    sink = RecordingSink()
+    tracer.add_sink(sink)
+    fn(tracer)
+    return sink.records
+
+
+class TestAssembly:
+    def test_begin_end_pairing(self):
+        def scenario(tracer):
+            sid = tracer.begin_span(1.0, "tcp", "handshake", host="client")
+            tracer.end_span(1.5, "tcp", "handshake", sid, outcome="established")
+
+        spans = assemble_spans(_traced(scenario))
+        assert len(spans.spans) == 1
+        span = spans.first("handshake")
+        assert not span.open
+        assert span.duration == 0.5
+        # Begin fields and extra end fields merge; reserved keys stripped.
+        assert span.fields == {"host": "client", "outcome": "established"}
+
+    def test_nesting_via_parent_ids(self):
+        def scenario(tracer):
+            outer = tracer.begin_span(0.0, "sttcp", "takeover_episode")
+            inner = tracer.begin_span(0.1, "sttcp", "shadow_convergence", parent=outer)
+            tracer.end_span(0.2, "sttcp", "shadow_convergence", inner)
+            tracer.end_span(0.3, "sttcp", "takeover_episode", outer)
+
+        spans = assemble_spans(_traced(scenario))
+        assert [s.name for s in spans.roots] == ["takeover_episode"]
+        assert [s.name for s in spans.roots[0].children] == ["shadow_convergence"]
+        assert "takeover_episode" in render_span_tree(spans)
+
+    def test_span_ids_are_deterministic(self):
+        first = _traced(lambda t: t.begin_span(0.0, "a", "x"))
+        second = _traced(lambda t: t.begin_span(0.0, "a", "x"))
+        assert first == second
+
+    def test_non_span_records_pass_through(self):
+        def scenario(tracer):
+            tracer.emit(0.0, "tcp", "send", seq=1)
+            sid = tracer.begin_span(0.1, "tcp", "retx_burst")
+            tracer.end_span(0.2, "tcp", "retx_burst", sid)
+
+        records = _traced(scenario)
+        assert [is_span_record(r) for r in records] == [False, True, True]
+        assert len(assemble_spans(records).spans) == 1
+
+
+class TestDegeneracies:
+    def test_open_span_survives_crash(self):
+        """A span begun but never closed (the host died mid-episode)
+        must still appear, flagged open."""
+
+        def scenario(tracer):
+            tracer.begin_span(2.0, "sttcp", "takeover_episode", rank=0)
+
+        spans = assemble_spans(_traced(scenario))
+        span = spans.first("takeover_episode")
+        assert span.open
+        assert span.end is None
+        assert spans.open_spans == [span]
+
+    def test_orphan_end_is_collected_not_crashed(self):
+        def scenario(tracer):
+            tracer.end_span(1.0, "tcp", "handshake", 999)
+
+        spans = assemble_spans(_traced(scenario))
+        assert spans.spans == []
+        assert len(spans.orphan_ends) == 1
+
+    def test_duplicate_end_first_wins(self):
+        def scenario(tracer):
+            sid = tracer.begin_span(0.0, "tcp", "retx_burst")
+            tracer.end_span(1.0, "tcp", "retx_burst", sid)
+            tracer.end_span(2.0, "tcp", "retx_burst", sid)
+
+        spans = assemble_spans(_traced(scenario))
+        assert spans.first("retx_burst").end == 1.0
+        assert spans.orphan_ends == []  # a late duplicate is ignored
+
+    def test_missing_parent_degrades_to_root(self):
+        def scenario(tracer):
+            sid = tracer.begin_span(0.0, "tcp", "child", parent=555)
+            tracer.end_span(0.1, "tcp", "child", sid)
+
+        spans = assemble_spans(_traced(scenario))
+        assert [s.name for s in spans.roots] == ["child"]
+
+
+class TestRealRunSpans:
+    def test_failover_run_emits_the_expected_spans(self):
+        from repro.apps.workload import echo_workload
+        from repro.harness.calibrate import FAST_LAN
+        from repro.harness.runner import run_workload
+        from repro.harness.scenario import Scenario
+        from repro.sttcp.config import STTCPConfig
+
+        scenario = Scenario(
+            profile=FAST_LAN, sttcp=STTCPConfig(hb_interval=0.05), seed=7
+        )
+        sink = RecordingSink()
+        scenario.sim.trace.add_sink(sink)
+        run_workload(
+            echo_workload(30), scenario=scenario, crash_at=0.102, deadline=120.0
+        ).require_clean()
+        spans = assemble_spans(sink.records)
+        names = {span.name for span in spans.spans}
+        assert {
+            "handshake",
+            "shadow_convergence",
+            "detection",
+            "takeover_episode",
+            "fault_tolerant",
+        } <= names
+        takeover = spans.first("takeover_episode")
+        assert not takeover.open
+        assert takeover.duration > 0
+        detection = spans.first("detection")
+        # The detection span covers the silent interval retroactively.
+        assert detection.duration > 0.05  # at least one missed heartbeat
+        # Every handshake closed (client connects once; shadows mirror it).
+        for span in spans.by_name("handshake"):
+            assert not span.open
