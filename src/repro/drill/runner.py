@@ -98,6 +98,7 @@ class DrillEnv:
         self.backup: Optional[Host] = None
         self.tap_nic = None
         self.sttcp_config = None
+        self.obs_probes: List[Any] = []
         if self.mode == "sttcp":
             self._build_sttcp(settings)
         else:
@@ -124,6 +125,8 @@ class DrillEnv:
             self._attach_peer(HUT_IP, self.port, [self.hut])
             self.listener = self.hut.tcp.listen(self.port)
             self.hut.tcp.connection_observers.append(self.tracked.append)
+            if settings.get("obs_probe"):
+                self._install_obs_probe(self.hut)
         else:
             # The peer injects toward the port the host will connect from.
             local_port = int(settings.get("local_port", DEFAULT_LOCAL_PORT))
@@ -161,7 +164,24 @@ class DrillEnv:
         self._attach_peer(SERVICE_IP, self.port, [self.primary, self.backup])
         self.peer.remote_mac = primary_nic.mac
         self.primary.tcp.connection_observers.append(self.tracked.append)
+        if settings.get("obs_probe"):
+            # Appended after the backup engine's own observer, so on the
+            # backup's connections the probe stacks *behind* the
+            # output-suppressing shadow extension — the contractually
+            # correct order (suppressor first).
+            self._install_obs_probe(self.backup)
         self.pair.start_service()
+
+    def _install_obs_probe(self, host: Host) -> None:
+        from repro.obs.tcp_ext import TraceProbeExtension
+
+        def attach(tcb: Any) -> None:
+            if tcb.local_port == self.port:
+                probe = TraceProbeExtension()
+                tcb.add_extension(probe)
+                self.obs_probes.append(probe)
+
+        host.tcp.connection_observers.append(attach)
 
     # -- probe helpers (used by the script DSL) -----------------------------
     def tcb(self) -> Optional[Any]:
@@ -176,6 +196,19 @@ class DrillEnv:
             return None
         shadows = self.pair.backup_engine.shadow_connections
         return shadows[0] if shadows else None
+
+    def shadow_ext(self) -> Optional[Any]:
+        from repro.sttcp.shadow import ShadowExtension
+
+        tcb = self.shadow_tcb()
+        return ShadowExtension.of(tcb) if tcb is not None else None
+
+    def extension_target(self) -> Optional[Any]:
+        """The connection whose extension chain probes inspect."""
+        return self.shadow_tcb() if self.mode == "sttcp" else self.tcb()
+
+    def obs_probe(self) -> Optional[Any]:
+        return self.obs_probes[0] if self.obs_probes else None
 
     def backup_role(self) -> str:
         return self.pair.backup_engine.role if self.pair is not None else "none"

@@ -151,11 +151,13 @@ class DrillProgram:
         def check(env: Any) -> None:
             tcb = env.shadow_tcb()
             assert tcb is not None, "backup holds no shadow connection"
+            ext = env.shadow_ext()
+            assert ext is not None, "backup connection has no shadow extension"
             if established is not None:
                 is_established = tcb.state.value == "ESTABLISHED"
                 assert is_established == established, f"shadow state is {tcb.state.value}"
             if isn_rebased is not None:
-                assert tcb.isn_rebased == isn_rebased, f"shadow isn_rebased is {tcb.isn_rebased}"
+                assert ext.isn_rebased == isn_rebased, f"shadow isn_rebased is {ext.isn_rebased}"
             if rcv_nxt is not None:
                 actual = tcb.rcv_nxt - tcb.irs
                 assert actual == rcv_nxt, f"shadow rcv_nxt is {actual}, expected {rcv_nxt}"
@@ -163,11 +165,47 @@ class DrillProgram:
                 actual = tcb.snd_nxt - tcb.iss
                 assert actual == snd_nxt, f"shadow snd_nxt is {actual}, expected {snd_nxt}"
             if suppressed is not None:
-                assert tcb.suppress_output == suppressed, (
-                    f"shadow suppress_output is {tcb.suppress_output}"
+                assert ext.suppressing == suppressed, (
+                    f"shadow suppress_output is {ext.suppressing}"
                 )
 
         self.probe(t, check, label="expect_shadow")
+
+    def expect_extensions(self, t: float, *names: str) -> None:
+        """The tracked connection's extension chain must be exactly
+        ``names``, in dispatch order, at ``t``.  In sttcp mode the
+        backup's shadow connection is checked instead."""
+
+        def check(env: Any) -> None:
+            tcb = env.extension_target()
+            assert tcb is not None, "no connection to check extensions on"
+            actual = tuple(ext.name for ext in tcb.extensions)
+            assert actual == names, (
+                f"extension chain is {actual}, expected {names}"
+            )
+
+        self.probe(t, check, label=f"expect_extensions:{','.join(names)}")
+
+    def expect_probe_counts(self, t: float, **bounds: int) -> None:
+        """Assert minimum hook-invocation counts on the obs trace probe
+        (requires ``use(obs_probe=True)``); e.g.
+        ``expect_probe_counts(1.0, on_segment_in=3, filter_transmit=0)``.
+        A bound of 0 means *exactly zero* invocations (leak check)."""
+
+        def check(env: Any) -> None:
+            probe = env.obs_probe()
+            assert probe is not None, "no obs probe attached (use obs_probe=True)"
+            for hook, minimum in bounds.items():
+                actual = probe.calls.get(hook)
+                assert actual is not None, f"unknown hook {hook!r}"
+                if minimum == 0:
+                    assert actual == 0, f"{hook} ran {actual} times, expected none"
+                else:
+                    assert actual >= minimum, (
+                        f"{hook} ran {actual} times, expected >= {minimum}"
+                    )
+
+        self.probe(t, check, label="expect_probe_counts")
 
     def expect_takeover(self, t: float) -> None:
         """The backup must have completed takeover (role ACTIVE) by ``t``."""
@@ -210,6 +248,8 @@ class DrillProgram:
             "probe": self.probe,
             "expect_state": self.expect_state,
             "expect_shadow": self.expect_shadow,
+            "expect_extensions": self.expect_extensions,
+            "expect_probe_counts": self.expect_probe_counts,
             "expect_takeover": self.expect_takeover,
             "app_request": self.app_request,
             "pattern": self.pattern,

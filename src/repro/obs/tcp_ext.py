@@ -1,0 +1,104 @@
+"""Observability TCP extensions: probes that ride the extension API.
+
+These are :class:`repro.tcp.extension.TCPExtension` subclasses that
+attach *observation* to a connection without the core engines carrying
+any bookkeeping for them — the vanilla hot path stays untouched; a probe
+costs something only on the connections it is registered on.
+
+* :class:`FirstAckProbe` — one-shot failover checkpoint: emits the
+  ``failover/first_ack`` trace record for the first client segment a
+  just-taken-over server accepts (the paper's "first retransmission
+  accepted" instant, the end of the client's RTO wait), then removes
+  itself.
+* :class:`TraceProbeExtension` — counts every hook invocation; used by
+  drills and tests to assert hook ordering and leak-freedom when several
+  extensions stack on one connection.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict
+
+from repro.tcp.extension import TCPExtension
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tcp.segment import TCPSegment
+    from repro.tcp.tcb import TCPConnection
+
+
+class FirstAckProbe(TCPExtension):
+    """Emit ``failover/first_ack`` on the next inbound segment, once.
+
+    Attached at takeover time; the next segment this connection receives
+    necessarily came from the client itself (suppression is lifted and
+    the old primary is gone), so its arrival marks the client-visible
+    end of the outage for this connection.
+    """
+
+    name = "obs.first_ack"
+
+    def on_segment_in(self, conn: "TCPConnection", segment: "TCPSegment") -> bool:
+        conn.remove_extension(self)
+        trace = conn.sim.trace
+        if trace.enabled_for("failover"):
+            trace.emit(
+                conn.sim.now,
+                "failover",
+                "first_ack",
+                host=conn.layer.host.name,
+                remote=f"{conn.remote_ip}:{conn.remote_port}",
+                amount=segment.payload_length,
+            )
+        return False
+
+
+class TraceProbeExtension(TCPExtension):
+    """Count hook invocations; assert ordering/leak properties in drills.
+
+    ``calls`` maps hook name → invocation count.  ``transmitted`` counts
+    the segments that reached this probe's ``filter_transmit`` — on a
+    connection where an output-suppressing extension is registered
+    *ahead* of the probe, every suppressed segment is vetoed before the
+    probe sees it, so a non-zero ``transmitted`` while suppression is
+    active means the chain is mis-ordered (segments are leaking past the
+    suppressor).  The probe never consumes, vetoes, or adjusts anything.
+    """
+
+    name = "obs.trace_probe"
+
+    def __init__(self) -> None:
+        self.calls: Dict[str, int] = {
+            "on_segment_in": 0,
+            "on_ack": 0,
+            "filter_transmit": 0,
+            "on_state_change": 0,
+            "on_isn_learned": 0,
+            "after_output": 0,
+        }
+        self.transmitted = 0
+        self.states: list = []
+        self.isn_events: list = []
+
+    def on_segment_in(self, conn: "TCPConnection", segment: "TCPSegment") -> bool:
+        self.calls["on_segment_in"] += 1
+        return False
+
+    def on_ack(self, conn: "TCPConnection", segment: "TCPSegment", ack_abs: int) -> int:
+        self.calls["on_ack"] += 1
+        return ack_abs
+
+    def filter_transmit(self, conn: "TCPConnection", segment: "TCPSegment") -> bool:
+        self.calls["filter_transmit"] += 1
+        self.transmitted += 1
+        return True
+
+    def on_state_change(self, conn: "TCPConnection", old: Any, new: Any) -> None:
+        self.calls["on_state_change"] += 1
+        self.states.append((old, new))
+
+    def on_isn_learned(self, conn: "TCPConnection", kind: str, isn_abs: int) -> None:
+        self.calls["on_isn_learned"] += 1
+        self.isn_events.append((kind, isn_abs))
+
+    def after_output(self, conn: "TCPConnection") -> None:
+        self.calls["after_output"] += 1

@@ -30,6 +30,7 @@ from repro.sttcp.messages import (
 from repro.sttcp.power_switch import PowerSwitch
 from repro.sttcp.primary import STTCPPrimary
 from repro.sttcp.retention import SecondReceiveBuffer
+from repro.sttcp.shadow import ShadowExtension
 
 __all__ = [
     "AckReply",
@@ -50,5 +51,6 @@ __all__ = [
     "STTCPServerGroup",
     "STTCPServerPair",
     "SecondReceiveBuffer",
+    "ShadowExtension",
     "conn_key",
 ]

@@ -33,6 +33,7 @@ from repro.sttcp.messages import (
     conn_key,
 )
 from repro.sttcp.power_switch import PowerSwitch
+from repro.sttcp.shadow import ShadowExtension
 from repro.tcp.segment import TCPSegment
 from repro.tcp.seqspace import unwrap, wrap
 from repro.tcp.tcb import TCPConnection
@@ -48,6 +49,7 @@ class _ShadowConnState:
 
     __slots__ = (
         "tcb",
+        "ext",
         "last_acked_offset",
         "last_ack_time",
         "pending_retx",
@@ -56,8 +58,9 @@ class _ShadowConnState:
         "convergence_sid",
     )
 
-    def __init__(self, tcb: TCPConnection, now: float) -> None:
+    def __init__(self, tcb: TCPConnection, ext: ShadowExtension, now: float) -> None:
         self.tcb = tcb
+        self.ext = ext
         self.last_acked_offset = 0  # LastByteAcked (as a stream offset)
         self.last_ack_time = now
         self.pending_retx: Optional[tuple] = None  # (start_abs, stop_abs, at)
@@ -110,7 +113,7 @@ class STTCPBackup:
         # Backups answer nothing on their own: no RSTs for unmatched
         # tapped segments, no ARP for the (suppressed) service IP.
         host.tcp.reset_on_unmatched = False
-        host.tcp.shadow_factory = self._on_shadow_connection
+        host.tcp.connection_observers.append(self._on_passive_open)
         host.ip_layer.add_tap(self._on_tapped_datagram)
         self.channel = host.udp.socket(self.config.channel_port)
         host._sttcp_channel_socket = self.channel
@@ -166,10 +169,17 @@ class STTCPBackup:
         self._hb_timer.stop()
 
     # Shadow connections -----------------------------------------------------------
-    def _on_shadow_connection(self, tcb: TCPConnection) -> None:
+    def _on_passive_open(self, tcb: TCPConnection) -> None:
+        """Connection observer: shadow every passive open of the service
+        endpoint while this host is a passive backup (once active, new
+        connections are regular primaries-to-be)."""
+        if self.role is not ROLE_PASSIVE:
+            return
         if tcb.local_ip != self.service_ip or tcb.local_port != self.service_port:
             return
-        state = _ShadowConnState(tcb, self.sim.now)
+        ext = ShadowExtension()
+        tcb.add_extension(ext)
+        state = _ShadowConnState(tcb, ext, self.sim.now)
         self._connections[conn_key(tcb.remote_ip, tcb.remote_port)] = state
         tcb.on_rcv_advance = lambda _rcv, s=state: self._on_stream_advance(s)
         if self.sim.trace.enabled_for("sttcp"):
@@ -203,7 +213,7 @@ class STTCPBackup:
         if self.role is not ROLE_PASSIVE:
             return
         tcb = state.tcb
-        if state.convergence_sid is not None and tcb.isn_rebased and tcb.is_synchronized:
+        if state.convergence_sid is not None and state.ext.isn_rebased and tcb.is_synchronized:
             self.sim.trace.end_span(
                 self.sim.now, "sttcp", "shadow_convergence", state.convergence_sid
             )
@@ -266,10 +276,10 @@ class STTCPBackup:
             if state is None:
                 return
         tcb = state.tcb
-        if segment.is_syn and segment.is_ack and not tcb.isn_rebased:
+        if segment.is_syn and segment.is_ack and not state.ext.isn_rebased:
             # The primary's SYN/ACK reveals its ISN directly (§4.1) — the
             # robust sync source when the tap lost the client's handshake.
-            tcb.rebase_from_primary_isn(segment.seq)
+            state.ext.learn_primary_isn(tcb, segment.seq)
         if segment.is_ack:
             # The ACK field tracks the *client's* stream, which the shadow
             # anchors from the tapped SYN — valid even before ISN rebase.
@@ -280,7 +290,7 @@ class STTCPBackup:
                 # The primary holds client bytes we never tapped; the
                 # client has purged them, so only the primary can help.
                 self._request_retransmission(state, tcb.rcv_nxt, primary_rcv)
-        if segment.payload_length > 0 and tcb.isn_rebased:
+        if segment.payload_length > 0 and state.ext.isn_rebased:
             seg_end = unwrap(segment.seq, tcb.snd_nxt) + segment.payload_length
             if state.primary_snd_nxt is None or seg_end > state.primary_snd_nxt:
                 state.primary_snd_nxt = seg_end
@@ -293,7 +303,7 @@ class STTCPBackup:
         (§4.1).  Without this, one lost frame on the tap makes the whole
         connection invisible to the backup and the takeover resets it.
         """
-        tcb = self.host.tcp.open_late_shadow(
+        tcb = self.host.tcp.synthesize_passive_open(
             self.service_ip,
             self.service_port,
             client_ip,
@@ -493,12 +503,12 @@ class STTCPBackup:
         self.role = ROLE_ACTIVE
         self.takeover_time = self.sim.now
         self.host.arp.unsuppress_ip(self.service_ip)
-        self.host.tcp.shadow_factory = None  # new connections are regular
+        # New passive opens stay regular: _on_passive_open checks the role.
         self.host.tcp.reset_on_unmatched = True
         self._sync_timer.stop()
         self._hb_timer.stop()
         for key, state in self._connections.items():
-            if state.tcb.is_synchronized and not state.tcb.isn_rebased:
+            if state.tcb.is_synchronized and not state.ext.isn_rebased:
                 # The send-stream anchor was never learned: this
                 # connection cannot be continued faithfully (§3.2-style
                 # incomplete communication state).

@@ -33,6 +33,7 @@ from repro.sttcp.messages import (
     conn_key,
 )
 from repro.sttcp.retention import SecondReceiveBuffer
+from repro.sttcp.shadow import ShadowExtension
 from repro.tcp.seqspace import unwrap
 from repro.tcp.tcb import TCPConnection
 from repro.tcp.timers import RestartableTimer
@@ -153,7 +154,9 @@ class STTCPPrimary:
 
     # Connection hook -----------------------------------------------------------------
     def _on_new_connection(self, tcb: TCPConnection) -> None:
-        if tcb.shadow_mode:
+        if ShadowExtension.of(tcb) is not None:
+            # A shadow replica on this host (promoted-backup topologies):
+            # retention belongs to live primaries only.
             return
         if tcb.local_ip != self.service_ip or tcb.local_port != self.service_port:
             return

@@ -1,11 +1,14 @@
 """A full TCP implementation over the simulator.
 
 Public surface: :class:`TCPLayer` (per host), :class:`TCPSocket`,
-:class:`TCPListener`, :class:`TCPConfig`, plus the building blocks
-(:class:`TCPConnection`, buffers, Reno congestion control, RTT/RTO
-estimation, sequence-space arithmetic) for tests and the ST-TCP engines.
+:class:`TCPListener`, :class:`TCPConfig`, the :class:`TCPExtension` hook
+protocol for protocol variants, plus the building blocks
+(:class:`TCPConnection` and its engines, buffers, Reno congestion
+control, RTT/RTO estimation, sequence-space arithmetic) for tests and
+the ST-TCP engines.
 """
 
+from repro.tcp.buffers import BufferManager
 from repro.tcp.config import TCPConfig
 from repro.tcp.congestion import DUPACK_THRESHOLD, RenoCongestionControl
 from repro.tcp.constants import (
@@ -21,9 +24,13 @@ from repro.tcp.constants import (
     RTO_MIN,
     TCPState,
 )
+from repro.tcp.extension import HOOK_NAMES, TCPExtension, overridden_hooks
+from repro.tcp.input import InputEngine
 from repro.tcp.layer import TCPLayer
 from repro.tcp.listener import TCPListener
+from repro.tcp.output import OutputEngine
 from repro.tcp.recv_buffer import ReceiveBuffer, RetentionPolicy
+from repro.tcp.retransmit import RetransmitEngine
 from repro.tcp.rtt import RTTEstimator
 from repro.tcp.segment import TCPSegment, make_rst
 from repro.tcp.send_buffer import SendBuffer
@@ -32,6 +39,7 @@ from repro.tcp.socket import TCPSocket
 from repro.tcp.tcb import TCPConnection
 
 __all__ = [
+    "BufferManager",
     "DEFAULT_MSS",
     "DEFAULT_RCV_BUFFER",
     "DEFAULT_SND_BUFFER",
@@ -41,21 +49,27 @@ __all__ = [
     "FLAG_PSH",
     "FLAG_RST",
     "FLAG_SYN",
+    "HOOK_NAMES",
+    "InputEngine",
+    "OutputEngine",
     "RTO_MAX",
     "RTO_MIN",
     "ReceiveBuffer",
     "RenoCongestionControl",
     "RetentionPolicy",
+    "RetransmitEngine",
     "RTTEstimator",
     "SendBuffer",
     "TCPConfig",
     "TCPConnection",
+    "TCPExtension",
     "TCPLayer",
     "TCPListener",
     "TCPSegment",
     "TCPSocket",
     "TCPState",
     "make_rst",
+    "overridden_hooks",
     "seq_ge",
     "seq_gt",
     "seq_le",

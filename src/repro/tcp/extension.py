@@ -1,0 +1,126 @@
+"""The TCP extension API: per-connection hooks at fixed pipeline points.
+
+The paper's thesis — and this repo's architecture after the engine
+decomposition — is that protocol variants should be *layered on* a stock
+TCP stack, not interleaved through it.  An extension is an object
+registered on one :class:`~repro.tcp.tcb.TCPConnection`; the core engines
+invoke its hooks at well-defined points:
+
+``on_segment_in(conn, segment)``
+    Every inbound segment, after the receive trace/counters and the
+    timestamp echo update, before state-machine dispatch.  Return ``True``
+    to *consume* the segment (core processing is skipped).  Every
+    registered extension sees the segment even when an earlier one
+    consumed it.
+
+``on_ack(conn, segment, ack_abs)``
+    At the top of cumulative-ACK processing.  Receives the unwrapped
+    (absolute) acknowledgment number and returns it, possibly adjusted;
+    extensions run in registration order, each seeing the previous
+    one's result.  This is where an extension may re-anchor sequence
+    state (via :meth:`TCPConnection.adopt_send_isn`) or clamp an ACK
+    that runs ahead of locally produced data.
+
+``filter_transmit(conn, segment)``
+    Immediately before a built segment is handed to the IP layer.
+    Return ``False`` to drop it; the first veto stops the chain (the
+    segment is gone — later extensions are not consulted).
+
+``on_state_change(conn, old, new)``
+    After every TCP state transition.
+
+``on_isn_learned(conn, kind, isn_abs)``
+    When a sequence-space anchor is established: ``kind`` is ``"local"``
+    (our ISN chosen), ``"peer"`` (the peer's ISN learned from a SYN), or
+    ``"rebase"`` (the send anchors re-pointed via ``adopt_send_isn``).
+
+``after_output(conn)``
+    After each :meth:`TCPConnection.try_output` pass, once the windows
+    have been serviced.  Extensions that defer work until the
+    application produces data apply it here.
+
+Hooks are dispatched *only when at least one registered extension
+overrides them*: a vanilla connection carries empty per-hook chains and
+pays a single falsy check, nothing more.  The chain order is the
+registration order (``add_extension``); ordering is part of the
+contract — e.g. an output-suppressing extension must precede any
+extension that observes transmissions, or the observer will see (and
+possibly leak) segments the suppressor should have vetoed first.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tcp.segment import TCPSegment
+    from repro.tcp.tcb import TCPConnection
+
+
+#: Anchor kinds reported through ``on_isn_learned``.
+ISN_LOCAL = "local"
+ISN_PEER = "peer"
+ISN_REBASE = "rebase"
+
+#: The hook names a connection builds per-hook dispatch chains for.
+HOOK_NAMES = (
+    "on_segment_in",
+    "on_ack",
+    "filter_transmit",
+    "on_state_change",
+    "on_isn_learned",
+    "after_output",
+)
+
+
+class TCPExtension:
+    """Base class for per-connection TCP extensions.
+
+    Subclasses override only the hooks they need; un-overridden hooks are
+    detected at registration time and never dispatched, so an extension
+    pays only for the pipeline points it actually taps.
+    """
+
+    #: Stable identifier, ``<subsystem>.<role>`` by convention.
+    name: str = "extension"
+
+    # -- lifecycle ----------------------------------------------------------
+    def on_attach(self, conn: "TCPConnection") -> None:
+        """Called when the extension is registered on ``conn``."""
+
+    def on_detach(self, conn: "TCPConnection") -> None:
+        """Called when the extension is removed from ``conn``."""
+
+    # -- pipeline hooks -----------------------------------------------------
+    def on_segment_in(self, conn: "TCPConnection", segment: "TCPSegment") -> bool:
+        """Inspect an inbound segment; return True to consume it."""
+        return False
+
+    def on_ack(
+        self, conn: "TCPConnection", segment: "TCPSegment", ack_abs: int
+    ) -> int:
+        """Adjust (or pass through) the absolute cumulative ACK."""
+        return ack_abs
+
+    def filter_transmit(self, conn: "TCPConnection", segment: "TCPSegment") -> bool:
+        """Return False to veto transmission of ``segment``."""
+        return True
+
+    def on_state_change(self, conn: "TCPConnection", old: Any, new: Any) -> None:
+        """Observe a TCP state transition."""
+
+    def on_isn_learned(self, conn: "TCPConnection", kind: str, isn_abs: int) -> None:
+        """Observe a sequence-space anchor being established."""
+
+    def after_output(self, conn: "TCPConnection") -> None:
+        """Run deferred work after an output pass."""
+
+
+def overridden_hooks(extension: TCPExtension) -> tuple:
+    """The hook names ``extension`` actually overrides (dispatch set)."""
+    cls = type(extension)
+    return tuple(
+        hook
+        for hook in HOOK_NAMES
+        if getattr(cls, hook, None) is not getattr(TCPExtension, hook)
+    )

@@ -1,0 +1,379 @@
+"""Input engine: sequence validation, the state machine, ACK processing.
+
+Owns the inbound half of the connection — segment dispatch per TCP
+state, RFC 793 acceptability checks, cumulative-ACK processing with fast
+retransmit/recovery (NewReno partial ACKs), send-window updates, payload
+reassembly hand-off, and FIN processing.  Registered extensions hook in
+at two points: ``on_segment_in`` (may consume a segment before dispatch)
+and ``on_ack`` (may adjust the unwrapped cumulative ACK before standard
+processing sees it).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ConnectionRefused, ConnectionReset
+from repro.tcp.congestion import DUPACK_THRESHOLD
+from repro.tcp.constants import FLAG_ACK, FLAG_RST, PERSIST_TIMEOUT_MIN, TCPState
+from repro.tcp.segment import TCPSegment
+from repro.tcp.seqspace import unwrap
+from repro.util.bytespan import EMPTY
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tcp.tcb import TCPConnection
+
+#: Challenge-ACK budget (RFC 5961): at most this many per window.
+CHALLENGE_LIMIT = 5
+CHALLENGE_WINDOW = 0.1
+
+
+class InputEngine:
+    """Inbound segment processing for one connection."""
+
+    __slots__ = (
+        "conn",
+        "dupacks",
+        "fast_recovery_point",
+        "_challenge_window_start",
+        "_challenge_count",
+    )
+
+    def __init__(self, conn: "TCPConnection") -> None:
+        self.conn = conn
+        self.dupacks = 0
+        self.fast_recovery_point: int | None = None
+        # RFC 5961-style challenge-ACK rate limiting: without it, two
+        # endpoints with momentarily inconsistent state can ping-pong
+        # pure ACKs forever.
+        self._challenge_window_start = 0.0
+        self._challenge_count = 0
+
+    # -- entry point ---------------------------------------------------------
+    def on_segment(self, segment: TCPSegment) -> None:
+        """Process one inbound (or tapped/injected) segment."""
+        conn = self.conn
+        conn.segments_received += 1
+        conn.trace_event("recv", seg=segment)
+        if segment.ts_val is not None and conn.use_timestamps:
+            conn.last_ts_recv = segment.ts_val
+        hooks = conn._ext_on_segment_in
+        if hooks:
+            consumed = False
+            for ext in hooks:
+                if ext.on_segment_in(conn, segment):
+                    consumed = True
+            if consumed:
+                return
+        if conn.state is TCPState.SYN_SENT:
+            self._segment_in_syn_sent(segment)
+        elif conn.state is TCPState.CLOSED:
+            pass  # late segment after close; the layer answers with RST
+        else:
+            self._segment_in_general(segment)
+
+    # -- SYN_SENT ------------------------------------------------------------
+    def _segment_in_syn_sent(self, segment: TCPSegment) -> None:
+        conn = self.conn
+        ack_abs = unwrap(segment.ack, conn.snd_nxt) if segment.is_ack else None
+        ack_acceptable = ack_abs is not None and conn.snd_una < ack_abs <= conn.snd_nxt
+        if segment.is_ack and not ack_acceptable:
+            if not segment.is_rst:
+                conn.output.send_rst_for(segment)
+            return
+        if segment.is_rst:
+            if ack_acceptable:
+                conn._enter_closed(ConnectionRefused("connection refused"))
+            return
+        if not segment.is_syn:
+            return
+        conn.irs = segment.seq
+        conn.rcv_nxt = conn.irs + 1
+        conn.note_isn_learned("peer", conn.irs)
+        if segment.mss_option is not None:
+            conn.mss = min(conn.mss, segment.mss_option)
+            conn.cc.mss = conn.mss
+        if segment.ts_val is not None and conn.config.timestamps:
+            conn.use_timestamps = True
+            conn.last_ts_recv = segment.ts_val
+        if ack_acceptable:
+            assert ack_abs is not None
+            conn.snd_una = ack_abs  # our SYN is acked
+            conn.retransmit.retransmit_count = 0
+            conn.retransmit.rto_timer.stop()
+            self._update_send_window(segment, conn.irs, ack_abs)
+            conn.set_state(TCPState.ESTABLISHED)
+            conn.trace_event("established")
+            conn.end_span("handshake", conn._handshake_sid)
+            conn._handshake_sid = None
+            conn.ack_now()
+            if conn.on_established is not None:
+                conn.on_established()
+            conn.try_output()
+        else:
+            # Simultaneous open.
+            conn.set_state(TCPState.SYN_RCVD)
+            conn.output.send_syn(with_ack=True)
+            conn.retransmit.arm_rto()
+
+    # -- everything else -----------------------------------------------------
+    def _segment_in_general(self, segment: TCPSegment) -> None:
+        conn = self.conn
+        seq_abs = unwrap(segment.seq, conn.rcv_nxt)
+        seg_len = segment.sequence_space_length
+        if not self._sequence_acceptable(seq_abs, seg_len):
+            if not segment.is_rst:
+                # Duplicate or out-of-window: re-ACK our current state
+                # (rate-limited so two confused peers cannot loop).
+                self.challenge_ack()
+            return
+        if segment.is_rst:
+            conn._enter_closed(ConnectionReset("connection reset by peer"))
+            return
+        if segment.is_syn and conn.state is TCPState.SYN_RCVD and seq_abs == conn.irs:
+            # Retransmitted SYN: re-send our SYN/ACK.
+            conn.output.send_syn(with_ack=True)
+            return
+        if segment.is_syn and seq_abs >= conn.rcv_nxt:
+            # SYN inside the window is a protocol violation.
+            conn.output.emit(FLAG_RST | FLAG_ACK, conn.snd_nxt, EMPTY)
+            conn._enter_closed(ConnectionReset("SYN received mid-connection"))
+            return
+        if not segment.is_ack:
+            return
+        if not self._process_ack(segment, seq_abs):
+            return
+        if segment.payload_length > 0:
+            self._process_payload(segment, seq_abs)
+        if segment.is_fin:
+            self._process_fin(segment, seq_abs)
+
+    def _sequence_acceptable(self, seq_abs: int, seg_len: int) -> bool:
+        conn = self.conn
+        window = conn.recv_buffer.window()
+        if seg_len == 0:
+            if window == 0:
+                return seq_abs == conn.rcv_nxt
+            return conn.rcv_nxt <= seq_abs < conn.rcv_nxt + window
+        if window == 0:
+            return False
+        return seq_abs < conn.rcv_nxt + window and seq_abs + seg_len > conn.rcv_nxt
+
+    # -- ACK processing ------------------------------------------------------
+    def _process_ack(self, segment: TCPSegment, seq_abs: int) -> bool:
+        """Returns False when processing must stop (segment dropped)."""
+        conn = self.conn
+        ack_abs = unwrap(segment.ack, conn.snd_una)
+        hooks = conn._ext_on_ack
+        if hooks:
+            for ext in hooks:
+                ack_abs = ext.on_ack(conn, segment, ack_abs)
+        if conn.state is TCPState.SYN_RCVD:
+            if conn.snd_una <= ack_abs <= conn.snd_max:
+                conn.retransmit.retransmit_count = 0
+                conn.retransmit.rto_timer.stop()
+                conn.set_state(
+                    TCPState.FIN_WAIT_1 if conn._fin_pending else TCPState.ESTABLISHED
+                )
+                self._update_send_window(segment, seq_abs, ack_abs, force=True)
+                conn.trace_event("established")
+                conn.end_span("handshake", conn._handshake_sid)
+                conn._handshake_sid = None
+                if ack_abs > conn.snd_una:
+                    conn.snd_una = ack_abs
+                if conn.on_established is not None:
+                    conn.on_established()
+            else:
+                conn.output.send_rst_for(segment)
+                return False
+        if ack_abs > conn.snd_max:
+            self.challenge_ack()
+            return False
+        # Window update comes first (RFC 793 ACK processing order): the
+        # try_output triggered by a new ACK must see the window this very
+        # segment advertises, or a sender can overshoot into a window the
+        # peer just closed.
+        self._update_send_window(segment, seq_abs, ack_abs)
+        if ack_abs > conn.snd_una:
+            self.apply_cumulative_ack(ack_abs)
+        elif (
+            ack_abs == conn.snd_una
+            and segment.payload_length == 0
+            and not segment.is_syn
+            and not segment.is_fin
+            and conn.flight_size > 0
+        ):
+            self._handle_duplicate_ack()
+        # State transitions driven by our FIN being acknowledged.
+        if conn._fin_sent and conn._fin_seq is not None and conn.snd_una > conn._fin_seq:
+            conn._fin_acked = True
+            if conn.state is TCPState.FIN_WAIT_1:
+                conn.set_state(TCPState.FIN_WAIT_2)
+            elif conn.state is TCPState.CLOSING:
+                conn._enter_time_wait()
+            elif conn.state is TCPState.LAST_ACK:
+                conn._enter_closed(None)
+                return False
+        return True
+
+    def apply_cumulative_ack(self, ack_abs: int) -> None:
+        """Advance ``snd_una`` to ``ack_abs`` with all side effects: buffer
+        release, RTT sampling, congestion control, recovery continuation,
+        RTO management, and a follow-up output pass."""
+        conn = self.conn
+        retransmit = conn.retransmit
+        bytes_acked = ack_abs - conn.snd_una
+        previous_una = conn.snd_una
+        conn.snd_una = ack_abs
+        self.dupacks = 0
+        retransmit.retransmit_count = 0
+        retransmit.rtt.reset_backoff()
+        # Release acknowledged payload bytes (exclude SYN/FIN seq space).
+        data_ack_offset = conn.buffers.snd_offset(ack_abs)
+        if conn._fin_seq is not None and ack_abs > conn._fin_seq:
+            data_ack_offset = conn.buffers.snd_offset(conn._fin_seq)
+        if data_ack_offset > conn.send_buffer.una_offset:
+            conn.send_buffer.ack_to(data_ack_offset)
+            if conn.on_writable is not None:
+                conn.on_writable()
+        # RTT sample (Karn-protected: timing is cleared on retransmission).
+        if retransmit.timing is not None and ack_abs >= retransmit.timing[0]:
+            sample = conn.sim.now - retransmit.timing[1]
+            retransmit.rtt.on_measurement(sample)
+            conn.layer.rtt_samples.observe(sample)
+            retransmit.timing = None
+        # Congestion control.
+        if conn.cc.in_fast_recovery:
+            if (
+                self.fast_recovery_point is not None
+                and ack_abs >= self.fast_recovery_point
+            ):
+                conn.cc.exit_fast_recovery()
+                self.fast_recovery_point = None
+            else:
+                # NewReno partial ACK: retransmit the next hole at once.
+                conn.cc.on_partial_ack(bytes_acked)
+                retransmit.retransmit_head()
+        else:
+            conn.cc.on_ack_new(bytes_acked)
+        # Go-back-N continuation after an RTO (Linux-style slow-start
+        # retransmission driven by returning ACKs).
+        if retransmit.recovery_point is not None:
+            if ack_abs >= retransmit.recovery_point:
+                retransmit.recovery_point = None
+            elif ack_abs > previous_una and ack_abs < conn.snd_max:
+                retransmit.retransmit_head()
+        # Retransmission timer: restart while data remains outstanding.
+        if conn.snd_una < conn.snd_max:
+            retransmit.arm_rto()
+        else:
+            retransmit.rto_timer.stop()
+            retransmit.recovery_point = None
+        if (
+            conn._retx_sid is not None
+            and retransmit.recovery_point is None
+            and not conn.cc.in_fast_recovery
+        ):
+            conn.end_span("retx_burst", conn._retx_sid, retransmissions=conn.retransmissions)
+            conn._retx_sid = None
+        conn.try_output()
+
+    def _handle_duplicate_ack(self) -> None:
+        conn = self.conn
+        conn.dupacks_received += 1
+        self.dupacks += 1
+        if conn.cc.in_fast_recovery:
+            conn.cc.on_dupack_in_recovery()
+            conn.try_output()
+            return
+        if self.dupacks == DUPACK_THRESHOLD:
+            self.fast_recovery_point = conn.snd_max
+            conn.cc.enter_fast_recovery(conn.flight_size)
+            conn.retransmit.timing = None
+            if conn._retx_sid is None:
+                conn._retx_sid = conn.begin_span(
+                    "retx_burst", cause="dupacks", flight=conn.flight_size
+                )
+            conn.retransmit.retransmit_head()
+            conn.retransmit.arm_rto()
+
+    def _update_send_window(
+        self, segment: TCPSegment, seq_abs: int, ack_abs: int, force: bool = False
+    ) -> None:
+        conn = self.conn
+        if (
+            force
+            or seq_abs > conn._snd_wl1
+            or (seq_abs == conn._snd_wl1 and ack_abs >= conn._snd_wl2)
+        ):
+            old_window = conn.snd_wnd
+            conn.snd_wnd = segment.window
+            conn._snd_wl1 = seq_abs
+            conn._snd_wl2 = ack_abs
+            if conn.snd_wnd > 0:
+                conn.retransmit.persist_timer.stop()
+                conn.retransmit.persist_interval = PERSIST_TIMEOUT_MIN
+                if old_window == 0:
+                    conn.try_output()
+
+    def challenge_ack(self) -> None:
+        """Rate-limited ACK answering an unacceptable segment (RFC 5961)."""
+        conn = self.conn
+        now = conn.sim.now
+        if now - self._challenge_window_start > CHALLENGE_WINDOW:
+            self._challenge_window_start = now
+            self._challenge_count = 0
+        if self._challenge_count >= CHALLENGE_LIMIT:
+            return
+        self._challenge_count += 1
+        conn.ack_now()
+
+    # -- payload -------------------------------------------------------------
+    def _process_payload(self, segment: TCPSegment, seq_abs: int) -> None:
+        conn = self.conn
+        offset = conn.buffers.rcv_offset(seq_abs)
+        before = conn.rcv_nxt
+        advanced = conn.recv_buffer.insert(offset, segment.payload)
+        conn.bytes_received += segment.payload_length
+        if advanced > 0:
+            conn.rcv_nxt += advanced
+            full_segments = max(1, advanced // conn.mss)
+            conn.output.schedule_ack(full_segments)
+            if conn.on_rcv_advance is not None:
+                conn.on_rcv_advance(conn.rcv_nxt)
+            if conn.on_readable is not None:
+                conn.on_readable()
+        else:
+            # Out-of-order or duplicate: immediate ACK to feed the sender's
+            # fast-retransmit machinery.
+            conn.ack_now()
+            return
+        if conn.recv_buffer.out_of_order_bytes > 0 and conn.rcv_nxt > before:
+            # Filled part of a hole but more reordering remains: ACK now.
+            conn.ack_now()
+
+    # -- FIN -----------------------------------------------------------------
+    def _process_fin(self, segment: TCPSegment, seq_abs: int) -> None:
+        conn = self.conn
+        fin_seq = seq_abs + segment.payload_length
+        if fin_seq != conn.rcv_nxt:
+            return  # FIN beyond a hole; wait for retransmission
+        if conn._fin_received:
+            conn.ack_now()
+            return
+        conn._fin_received = True
+        conn.rcv_nxt += 1
+        conn.ack_now()
+        if conn.on_readable is not None:
+            conn.on_readable()  # wake readers so they observe EOF
+        if conn.state is TCPState.ESTABLISHED:
+            conn.set_state(TCPState.CLOSE_WAIT)
+        elif conn.state is TCPState.FIN_WAIT_1:
+            if conn._fin_acked:
+                conn._enter_time_wait()
+            else:
+                conn.set_state(TCPState.CLOSING)
+        elif conn.state is TCPState.FIN_WAIT_2:
+            conn._enter_time_wait()
+        elif conn.state is TCPState.TIME_WAIT:
+            conn.retransmit.time_wait_timer.start(conn.config.time_wait)

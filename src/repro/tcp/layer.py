@@ -1,8 +1,9 @@
 """The per-host TCP layer: demultiplexing, listeners, ISN generation.
 
-ST-TCP integration: setting :attr:`TCPLayer.shadow_factory` (done by the
-backup engine) makes every passively opened connection a *shadow* —
-output-suppressed, ISN-synchronising — without touching listener or
+Protocol variants integrate through :attr:`TCPLayer.connection_observers`:
+each observer runs for every passively opened connection *before* the
+SYN is processed, so it can attach :class:`repro.tcp.extension.TCPExtension`
+objects (the ST-TCP engines do exactly this) without touching listener or
 application code.
 """
 
@@ -38,11 +39,9 @@ class TCPLayer:
         self._connections: Dict[ConnectionKey, TCPConnection] = {}
         self._listeners: Dict[Tuple[Optional[int], int], TCPListener] = {}
         self._next_ephemeral = EPHEMERAL_PORT_START
-        #: When set (ST-TCP backup), passive opens become shadow TCBs and
-        #: the callback is invoked for each one.
-        self.shadow_factory: Optional[ConnectionCallback] = None
-        #: Observers invoked for every passive open (ST-TCP primary uses
-        #: this to attach retention to new connections).
+        #: Observers invoked for every passive open, before the SYN is
+        #: processed (the ST-TCP engines use this to attach retention or
+        #: replication extensions to new connections).
         self.connection_observers: List[ConnectionCallback] = []
         #: Answer unmatched segments with RST (real-stack behaviour).
         self.reset_on_unmatched = True
@@ -51,6 +50,7 @@ class TCPLayer:
         metrics = sim.metrics.scope(f"{host.name}.tcp")
         self._c_segments_demuxed = metrics.counter("segments_demuxed")
         self._c_segments_unmatched = metrics.counter("segments_unmatched")
+        self._c_syns_deflected = metrics.counter("syns_deflected")
         self._c_resets_sent = metrics.counter("resets_sent")
         #: RTT samples (Karn-filtered) across all connections of the host.
         self.rtt_samples = metrics.histogram("rtt")
@@ -65,6 +65,13 @@ class TCPLayer:
         return self._c_segments_unmatched.value
 
     @property
+    def syns_deflected(self) -> int:
+        """SYNs that found a bound listener which refused them (backlog
+        full) — kept separate from :attr:`segments_unmatched`, which
+        counts segments with no matching endpoint at all."""
+        return self._c_syns_deflected.value
+
+    @property
     def resets_sent(self) -> int:
         return self._c_resets_sent.value
 
@@ -73,8 +80,8 @@ class TCPLayer:
         """A random 32-bit initial sequence number.
 
         Primary and backup draw from *different* host-named streams, so
-        their ISNs differ — which is precisely why the shadow handshake
-        must rebase (§4.1).
+        their ISNs differ — which is precisely why a backup replica must
+        rebase its ISN onto the primary's during the handshake (§4.1).
         """
         rng = self.sim.random.stream(f"tcp.isn.{self.host.name}")
         return rng.randrange(0, SEQ_MASK)
@@ -168,8 +175,15 @@ class TCPLayer:
             return
         if segment.is_syn and not segment.is_ack:
             listener = self._find_listener(datagram.dst, segment.dst_port)
-            if listener is not None and listener.may_accept_syn():
-                self._passive_open(listener, datagram, segment)
+            if listener is not None:
+                if listener.may_accept_syn():
+                    self._passive_open(listener, datagram, segment)
+                    return
+                # A listener is bound but refused (backlog full): not the
+                # same failure as a segment with no endpoint at all.
+                self._c_syns_deflected.value += 1
+                if self.reset_on_unmatched and not segment.is_rst:
+                    self._send_unmatched_rst(datagram, segment)
                 return
         self._c_segments_unmatched.value += 1
         if self.reset_on_unmatched and not segment.is_rst:
@@ -179,7 +193,6 @@ class TCPLayer:
         self, listener: TCPListener, datagram: IPDatagram, syn: TCPSegment
     ) -> None:
         config = getattr(listener, "config", None) or self.config
-        shadow = self.shadow_factory is not None
         tcb = TCPConnection(
             self,
             datagram.dst,
@@ -187,18 +200,15 @@ class TCPLayer:
             datagram.src,
             syn.src_port,
             config,
-            shadow_mode=shadow,
         )
         key = tcb.key
         self._connections[key] = tcb
         listener.track_handshake(tcb)
-        if self.shadow_factory is not None:
-            self.shadow_factory(tcb)
         for observer in self.connection_observers:
             observer(tcb)
         tcb.open_passive(syn)
 
-    def open_late_shadow(
+    def synthesize_passive_open(
         self,
         local_ip: IPAddress,
         local_port: int,
@@ -206,16 +216,15 @@ class TCPLayer:
         remote_port: int,
         client_isn: int,
     ) -> Optional[TCPConnection]:
-        """Open a shadow for a connection whose client SYN this host missed.
+        """Passively open a connection whose client SYN this host missed.
 
         The ST-TCP backup calls this when a *tapped primary SYN/ACK*
         reveals a connection it never saw (the tap lost the client's
-        handshake): the SYN/ACK's ack field gives the client's ISN, so the
-        shadow can be opened exactly as if the SYN had arrived.  Returns
-        ``None`` unless this host is shadowing and a listener accepts.
+        handshake): the SYN/ACK's ack field gives the client's ISN, so
+        the connection can be opened — observers attached, extensions and
+        all — exactly as if the SYN had arrived.  Returns ``None`` unless
+        a listener is bound and accepts.
         """
-        if self.shadow_factory is None:
-            return None
         if self.find_connection(local_ip, local_port, remote_ip, remote_port):
             return None
         listener = self._find_listener(local_ip, local_port)

@@ -2,8 +2,8 @@
 
 A listener owns a (local-IP, port) endpoint; inbound SYNs create
 connections that are delivered to ``accept()`` once established.  On an
-ST-TCP backup the very same listener code produces *shadow* connections
-from tapped SYNs, so the unmodified server application runs identically on
+ST-TCP backup the very same listener code opens replica connections from
+tapped SYNs, so the unmodified server application runs identically on
 primary and backup (§4.1).
 """
 

@@ -1,0 +1,267 @@
+"""Output engine: segmentization, send-policy decisions, emission.
+
+Owns the decision of *what goes on the wire and when* — the sender-side
+sliding window walk (flow × congestion window), Nagle, FIN piggybacking,
+the delayed-ACK policy and its timer, window-update ACKs after
+application reads, and the final build-and-transmit step every segment
+funnels through (:meth:`emit` → :meth:`transmit`), where registered
+extensions get their ``filter_transmit`` veto.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.tcp.config import TCPConfig
+from repro.tcp.constants import (
+    FLAG_ACK,
+    FLAG_FIN,
+    FLAG_PSH,
+    FLAG_RST,
+    FLAG_SYN,
+    TCPState,
+)
+from repro.tcp.segment import TCPSegment
+from repro.tcp.seqspace import unwrap, wrap
+from repro.tcp.timers import RestartableTimer
+from repro.util.bytespan import EMPTY, ByteSpan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tcp.tcb import TCPConnection
+
+#: States in which :meth:`OutputEngine.try_output` may send payload.
+_OUTPUT_STATES = (
+    TCPState.ESTABLISHED,
+    TCPState.FIN_WAIT_1,
+    TCPState.CLOSE_WAIT,
+    TCPState.CLOSING,
+    TCPState.LAST_ACK,
+)
+
+
+class OutputEngine:
+    """Everything that decides to put a segment on the wire."""
+
+    __slots__ = (
+        "conn",
+        "delack_timer",
+        "segments_since_ack",
+        "ack_scheduled",
+        "last_advertised_window",
+        "last_data_send_time",
+    )
+
+    def __init__(self, conn: "TCPConnection", config: TCPConfig) -> None:
+        self.conn = conn
+        self.delack_timer = RestartableTimer(conn.sim, self._on_delack, "delack")
+        # Delayed-ACK state.
+        self.segments_since_ack = 0
+        self.ack_scheduled = False
+        # Window-update bookkeeping.
+        self.last_advertised_window = config.rcv_buffer
+        # RFC 2861 congestion-window validation.
+        self.last_data_send_time: Optional[float] = None
+
+    # -- window advertisement ------------------------------------------------
+    def advertised_window(self) -> int:
+        return min(self.conn.recv_buffer.window(), 0xFFFF)
+
+    # -- the sender-side window walk -----------------------------------------
+    def try_output(self) -> None:
+        """Send whatever the windows currently allow."""
+        conn = self.conn
+        if conn.state not in _OUTPUT_STATES:
+            return
+        if (
+            self.last_data_send_time is not None
+            and conn.flight_size == 0
+            and conn.sim.now - self.last_data_send_time > conn.retransmit.rtt.rto
+        ):
+            # Idle longer than an RTO: restart from the initial window
+            # (RFC 2861, as Linux does).
+            conn.cc.restart_after_idle()
+        usable_window = min(conn.snd_wnd, conn.cc.window())
+        tail = conn.send_buffer.tail_offset
+        sent_something = False
+        while True:
+            in_flight = conn.snd_nxt - conn.snd_una
+            window_left = usable_window - in_flight
+            next_offset = conn.buffers.snd_offset(conn.snd_nxt)
+            available = tail - next_offset
+            if available > 0 and window_left > 0:
+                chunk = min(conn.mss, available, window_left)
+                if (
+                    conn.config.nagle
+                    and chunk < conn.mss
+                    and in_flight > 0
+                    and not conn._fin_pending
+                ):
+                    break
+                payload = conn.send_buffer.data_range(next_offset, next_offset + chunk)
+                flags = FLAG_ACK
+                fin_now = (
+                    conn._fin_pending
+                    and not conn._fin_sent
+                    and next_offset + chunk == tail
+                    and window_left > chunk
+                )
+                if fin_now:
+                    flags |= FLAG_FIN
+                if next_offset + chunk == tail:
+                    flags |= FLAG_PSH
+                self.emit(flags, conn.snd_nxt, payload)
+                conn.snd_nxt += chunk
+                if fin_now:
+                    self._note_fin_sent(conn.snd_nxt)
+                    conn.snd_nxt += 1
+                conn.snd_max = max(conn.snd_max, conn.snd_nxt)
+                if conn.retransmit.timing is None and not conn.output_inhibited:
+                    conn.retransmit.timing = (conn.snd_nxt, conn.sim.now)
+                conn.retransmit.arm_rto_if_idle()
+                sent_something = True
+                continue
+            # No payload sendable: maybe a lone FIN.
+            if (
+                conn._fin_pending
+                and not conn._fin_sent
+                and available == 0
+                and window_left > 0
+            ):
+                self.emit(FLAG_ACK | FLAG_FIN, conn.snd_nxt, EMPTY)
+                self._note_fin_sent(conn.snd_nxt)
+                conn.snd_nxt += 1
+                conn.snd_max = max(conn.snd_max, conn.snd_nxt)
+                conn.retransmit.arm_rto_if_idle()
+                sent_something = True
+            break
+        # Zero-window: arm the persist timer when data waits but the peer
+        # advertises nothing and nothing is in flight to trigger an ACK.
+        if (
+            not sent_something
+            and conn.snd_wnd == 0
+            and conn.send_buffer.tail_offset > conn.buffers.snd_offset(conn.snd_nxt)
+            and conn.flight_size == 0
+        ):
+            conn.retransmit.arm_persist()
+        hooks = conn._ext_after_output
+        if hooks:
+            for ext in hooks:
+                ext.after_output(conn)
+
+    def _note_fin_sent(self, seq_abs: int) -> None:
+        conn = self.conn
+        conn._fin_sent = True
+        conn._fin_seq = seq_abs
+
+    # -- segment build + handoff ---------------------------------------------
+    def send_syn(self, with_ack: bool) -> None:
+        conn = self.conn
+        flags = FLAG_SYN | (FLAG_ACK if with_ack else 0)
+        self.emit(flags, conn.iss, EMPTY, mss_option=conn.config.mss)
+
+    def emit(
+        self,
+        flags: int,
+        seq_abs: int,
+        payload: ByteSpan,
+        mss_option: Optional[int] = None,
+    ) -> None:
+        """Build and transmit one segment."""
+        conn = self.conn
+        ts_val = ts_ecr = None
+        if conn.use_timestamps or (flags & FLAG_SYN and conn.config.timestamps):
+            ts_val = conn.sim.now
+            ts_ecr = conn.last_ts_recv
+        segment = TCPSegment(
+            conn.local_port,
+            conn.remote_port,
+            wrap(seq_abs),
+            wrap(conn.rcv_nxt) if flags & FLAG_ACK else 0,
+            flags,
+            self.advertised_window(),
+            payload,
+            mss_option=mss_option,
+            ts_val=ts_val,
+            ts_ecr=ts_ecr,
+        )
+        if flags & FLAG_ACK:
+            self._ack_sent_housekeeping()
+        if len(payload) > 0 or flags & (FLAG_SYN | FLAG_FIN):
+            self.last_data_send_time = conn.sim.now
+        self.transmit(segment)
+
+    def _ack_sent_housekeeping(self) -> None:
+        self.segments_since_ack = 0
+        self.ack_scheduled = False
+        self.delack_timer.stop()
+        self.last_advertised_window = self.conn.recv_buffer.window()
+
+    def transmit(self, segment: TCPSegment) -> None:
+        """Hand a built segment to IP — unless an extension vetoes it."""
+        conn = self.conn
+        vetoers = conn._ext_filter_transmit
+        if vetoers:
+            for ext in vetoers:
+                if not ext.filter_transmit(conn, segment):
+                    return
+        conn.segments_sent += 1
+        conn.bytes_sent += segment.payload_length
+        conn.trace_event("send", seg=segment)
+        conn.layer.send_segment(conn, segment)
+
+    def send_rst_for(self, segment: TCPSegment) -> None:
+        conn = self.conn
+        if segment.is_ack:
+            rst = TCPSegment(
+                conn.local_port, conn.remote_port, segment.ack, 0, FLAG_RST, 0
+            )
+        else:
+            rst = TCPSegment(
+                conn.local_port,
+                conn.remote_port,
+                0,
+                wrap(unwrap(segment.seq, conn.rcv_nxt) + segment.sequence_space_length),
+                FLAG_RST | FLAG_ACK,
+                0,
+            )
+        self.transmit(rst)
+
+    # -- ACK emission --------------------------------------------------------
+    def ack_now(self) -> None:
+        """Send an immediate pure ACK."""
+        conn = self.conn
+        if conn.state in (TCPState.CLOSED, TCPState.LISTEN, TCPState.SYN_SENT):
+            return
+        self.emit(FLAG_ACK, conn.snd_nxt, EMPTY)
+
+    def schedule_ack(self, advanced_segments: int) -> None:
+        """Delayed-ACK policy after receiving in-order data."""
+        conn = self.conn
+        if not conn.config.delayed_ack:
+            self.ack_now()
+            return
+        self.segments_since_ack += advanced_segments
+        if self.segments_since_ack >= conn.config.delack_segments:
+            self.ack_now()
+            return
+        if not self.ack_scheduled:
+            self.ack_scheduled = True
+            if not conn.output_inhibited:
+                self.delack_timer.start(conn.config.delack_timeout)
+
+    def _on_delack(self) -> None:
+        if not self.conn.layer.host.is_up:
+            return
+        if self.ack_scheduled:
+            self.ack_now()
+
+    def maybe_send_window_update(self, window_before: int) -> None:
+        """After an application read, reopen a closed/shrunken window."""
+        conn = self.conn
+        window_now = conn.recv_buffer.window()
+        threshold = min(2 * conn.mss, conn.config.rcv_buffer // 2)
+        if (
+            self.last_advertised_window < threshold
+            and window_now - self.last_advertised_window >= threshold
+        ):
+            self.ack_now()

@@ -139,8 +139,8 @@ class TCPSocket:
     # Pumps -------------------------------------------------------------------------
     def _pump_writers(self) -> None:
         if self._pumping_writers:
-            # app_write can synchronously free buffer space (shadow-mode
-            # ack application) and call back into on_writable; re-entering
+            # app_write can synchronously free buffer space (an extension
+            # applying deferred acks) and call back into on_writable; re-entering
             # here would append with a stale "done" and corrupt the
             # stream.  The outer pump loop picks the space up instead.
             return

@@ -1,59 +1,55 @@
-"""The TCP connection state machine (transmission control block).
+"""The TCP connection: a slim facade over four composable engines.
 
 This is a full, wire-faithful TCP endpoint: three-way handshake, sliding
 window with flow and Reno congestion control, RFC 6298 retransmission
 timing with Linux bounds, delayed ACKs, zero-window probing, orderly and
 abortive teardown, and TIME_WAIT.
 
-Two hooks exist specifically for ST-TCP (both inert by default):
+The behaviour lives in four engines with explicit interfaces:
 
-* **Output suppression / shadow mode** — a backup's connection processes
-  every tapped segment and advances all state exactly like the primary,
-  but :meth:`_transmit` drops its segments instead of handing them to IP,
-  and no timers that would cause transmissions are armed.  During the
-  handshake the shadow adopts the *primary's* ISN from the client's
-  handshake ACK (§4.1 step 3).  :meth:`takeover` flips the connection
-  live during failover.
-* **Retention** — the primary's receive buffer keeps application-read
-  bytes until the backup acknowledges them over the UDP channel (§4.2);
-  see :class:`repro.tcp.recv_buffer.RetentionPolicy`.
+* :class:`repro.tcp.input.InputEngine` — sequence validation, the state
+  machine, ACK processing;
+* :class:`repro.tcp.output.OutputEngine` — segmentization, window /
+  Nagle / delayed-ACK decisions, emission;
+* :class:`repro.tcp.retransmit.RetransmitEngine` — RTO/persist/TIME_WAIT
+  timers, head retransmit, backoff;
+* :class:`repro.tcp.buffers.BufferManager` — send/receive buffers and
+  sequence-space ↔ stream-offset translation.
+
+:class:`TCPConnection` coordinates them, holds the shared connection
+state (addresses, TCP state, sequence variables, FIN bookkeeping,
+callbacks, counters), and hosts the extension chain: protocol variants
+(ST-TCP replication, observability probes) register
+:class:`repro.tcp.extension.TCPExtension` objects per connection and the
+engines call their hooks at fixed pipeline points.  A connection with no
+extensions pays one falsy check per hook site — nothing else.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Optional, Tuple
 
-from repro.errors import (
-    ConnectionClosed,
-    ConnectionRefused,
-    ConnectionReset,
-    ConnectionTimeout,
-)
+from repro.errors import ConnectionClosed, ConnectionReset
 from repro.net.addresses import IPAddress
+from repro.tcp.buffers import BufferManager
 from repro.tcp.config import TCPConfig
-from repro.tcp.congestion import DUPACK_THRESHOLD, RenoCongestionControl
+from repro.tcp.congestion import RenoCongestionControl
 from repro.tcp.constants import (
     FLAG_ACK,
-    FLAG_FIN,
-    FLAG_PSH,
     FLAG_RST,
-    FLAG_SYN,
-    PERSIST_TIMEOUT_MAX,
-    PERSIST_TIMEOUT_MIN,
     SYNCHRONIZED_STATES,
     TCPState,
 )
-from repro.tcp.recv_buffer import ReceiveBuffer
-from repro.tcp.rtt import RTTEstimator
+from repro.tcp.extension import TCPExtension, overridden_hooks
+from repro.tcp.input import InputEngine
+from repro.tcp.output import OutputEngine
+from repro.tcp.retransmit import RetransmitEngine
 from repro.tcp.segment import TCPSegment
-from repro.tcp.send_buffer import SendBuffer
-from repro.tcp.seqspace import unwrap, wrap
-from repro.tcp.timers import RestartableTimer
 from repro.util.bytespan import EMPTY, ByteSpan
 
 
 class TCPConnection:
-    """One endpoint of one TCP connection."""
+    """One endpoint of one TCP connection (facade over the engines)."""
 
     def __init__(
         self,
@@ -63,7 +59,6 @@ class TCPConnection:
         remote_ip: IPAddress,
         remote_port: int,
         config: TCPConfig,
-        shadow_mode: bool = False,
     ) -> None:
         config.validate()
         self.layer = layer
@@ -74,13 +69,6 @@ class TCPConnection:
         self.remote_port = remote_port
         self.config = config
         self.state = TCPState.CLOSED
-
-        # Shadow/suppression (ST-TCP backup).
-        self.shadow_mode = shadow_mode
-        self.suppress_output = shadow_mode
-        self._shadow_pending_ack: Optional[int] = None
-        self._applying_shadow_ack = False
-        self.isn_rebased = False
 
         # Sequence state (absolute/unwrapped; see repro.tcp.seqspace).
         self.iss = 0
@@ -93,55 +81,31 @@ class TCPConnection:
         self._snd_wl2 = -1
         self.rcv_nxt = 0
 
-        # Buffers.
-        self.send_buffer = SendBuffer(config.snd_buffer)
-        self.recv_buffer = ReceiveBuffer(config.rcv_buffer)
-
-        # Algorithms.
+        # Algorithms shared across engines.
         self.mss = config.mss  # effective MSS after option exchange
         self.cc = RenoCongestionControl(config.mss)
-        self.rtt = RTTEstimator(config.rto_min, config.rto_max, config.rto_initial)
 
-        # Timers.
-        self.rto_timer = RestartableTimer(self.sim, self._on_rto, "rto")
-        self.delack_timer = RestartableTimer(self.sim, self._on_delack, "delack")
-        self.persist_timer = RestartableTimer(self.sim, self._on_persist, "persist")
-        self.time_wait_timer = RestartableTimer(self.sim, self._on_time_wait, "time_wait")
+        # Extension chain: per-hook dispatch tuples stay empty (and the
+        # hook sites a single falsy check) until an extension registers.
+        self.output_inhibited = False
+        self._extensions: Tuple[TCPExtension, ...] = ()
+        self._ext_on_segment_in: Tuple[TCPExtension, ...] = ()
+        self._ext_on_ack: Tuple[TCPExtension, ...] = ()
+        self._ext_filter_transmit: Tuple[TCPExtension, ...] = ()
+        self._ext_on_state_change: Tuple[TCPExtension, ...] = ()
+        self._ext_on_isn_learned: Tuple[TCPExtension, ...] = ()
+        self._ext_after_output: Tuple[TCPExtension, ...] = ()
 
-        # FIN bookkeeping.
+        # FIN bookkeeping (read by input, output and retransmit engines).
         self._fin_pending = False  # app asked to close; FIN not yet sent
         self._fin_sent = False
         self._fin_seq: Optional[int] = None
         self._fin_acked = False
         self._fin_received = False
 
-        # Retransmission bookkeeping.
-        self._retransmit_count = 0
-        self._rto_recovery_point: Optional[int] = None
-        self._timing: Optional[Tuple[int, float]] = None  # (end_seq, sent_at)
-        self._dupacks = 0
-        self._fast_recovery_point: Optional[int] = None
-        self._persist_interval = PERSIST_TIMEOUT_MIN
-
-        # Delayed-ACK state.
-        self._segments_since_ack = 0
-        self._ack_scheduled = False
-
-        # RFC 2861 congestion-window validation.
-        self._last_data_send_time: Optional[float] = None
-
-        # RFC 5961-style challenge-ACK rate limiting: without it, two
-        # endpoints with momentarily inconsistent state can ping-pong
-        # pure ACKs forever.
-        self._challenge_window_start = 0.0
-        self._challenge_count = 0
-
         # Timestamp option state.
         self.use_timestamps = False
-        self._last_ts_recv: Optional[float] = None
-
-        # Window-update bookkeeping.
-        self._last_advertised_window = config.rcv_buffer
+        self.last_ts_recv: Optional[float] = None
 
         # App-facing callbacks (wired by TCPSocket / listener / ST-TCP).
         self.on_established: Optional[Callable[[], None]] = None
@@ -149,11 +113,9 @@ class TCPConnection:
         self.on_writable: Optional[Callable[[], None]] = None
         self.on_closed: Optional[Callable[[], None]] = None
         self.on_error: Optional[Callable[[BaseException], None]] = None
-        #: ST-TCP backup hook: called with each processed inbound segment.
-        self.on_segment_observed: Optional[Callable[[TCPSegment], None]] = None
-        #: ST-TCP hook: called with the new rcv_nxt whenever the in-order
-        #: receive stream advances (distinct from on_readable, which the
-        #: socket consumes).
+        #: Called with the new rcv_nxt whenever the in-order receive
+        #: stream advances (distinct from on_readable, which the socket
+        #: consumes); used by the ST-TCP engines.
         self.on_rcv_advance: Optional[Callable[[int], None]] = None
 
         # Counters.
@@ -162,17 +124,27 @@ class TCPConnection:
         self.bytes_sent = 0
         self.bytes_received = 0
         self.retransmissions = 0
-        self.suppressed_segments = 0
         self.dupacks_received = 0
         self.error: Optional[BaseException] = None
 
         # Span bookkeeping (None while no episode is open).
         self._handshake_sid: Optional[int] = None
         self._retx_sid: Optional[int] = None
-        #: Set by :meth:`takeover`; the next accepted client segment emits
-        #: the failover/first_ack marker (the paper's "first
-        #: retransmission accepted" instant).
-        self._awaiting_first_ack = False
+
+        # Engines.
+        self.buffers = BufferManager(self, config)
+        self.retransmit = RetransmitEngine(self, config)
+        self.output = OutputEngine(self, config)
+        self.input = InputEngine(self)
+
+        # Aliases kept for the historical flat API (tests, ST-TCP, tools).
+        self.send_buffer = self.buffers.send_buffer
+        self.recv_buffer = self.buffers.recv_buffer
+        self.rtt = self.retransmit.rtt
+        self.rto_timer = self.retransmit.rto_timer
+        self.persist_timer = self.retransmit.persist_timer
+        self.time_wait_timer = self.retransmit.time_wait_timer
+        self.delack_timer = self.output.delack_timer
 
     # ------------------------------------------------------------------ utils
     @property
@@ -181,13 +153,13 @@ class TCPConnection:
 
     def _snd_offset(self, seq_abs: int) -> int:
         """Send-stream offset of an absolute sequence number."""
-        return seq_abs - self.iss - 1
+        return self.buffers.snd_offset(seq_abs)
 
     def _snd_seq(self, offset: int) -> int:
-        return self.iss + 1 + offset
+        return self.buffers.snd_seq(offset)
 
     def _rcv_offset(self, seq_abs: int) -> int:
-        return seq_abs - self.irs - 1
+        return self.buffers.rcv_offset(seq_abs)
 
     @property
     def flight_size(self) -> int:
@@ -207,7 +179,8 @@ class TCPConnection:
     def readable_bytes(self) -> int:
         return self.recv_buffer.available
 
-    def _trace(self, event: str, **fields: Any) -> None:
+    # -------------------------------------------------------------- tracing
+    def trace_event(self, event: str, **fields: Any) -> None:
         if self.sim.trace.enabled_for("tcp"):
             self.sim.trace.emit(
                 self.sim.now,
@@ -220,7 +193,7 @@ class TCPConnection:
                 **fields,
             )
 
-    def _begin_span(self, name: str, **fields: Any) -> Optional[int]:
+    def begin_span(self, name: str, **fields: Any) -> Optional[int]:
         trace = self.sim.trace
         if not trace.enabled_for("tcp"):
             return None
@@ -233,9 +206,84 @@ class TCPConnection:
             **fields,
         )
 
-    def _end_span(self, name: str, sid: Optional[int], **fields: Any) -> None:
+    def end_span(self, name: str, sid: Optional[int], **fields: Any) -> None:
         if sid is not None:
             self.sim.trace.end_span(self.sim.now, "tcp", name, sid, **fields)
+
+    # ----------------------------------------------------------- extensions
+    @property
+    def extensions(self) -> Tuple[TCPExtension, ...]:
+        """The registered extension chain, in dispatch order."""
+        return self._extensions
+
+    def add_extension(self, extension: TCPExtension, index: Optional[int] = None) -> None:
+        """Register ``extension``; hooks run in registration order."""
+        chain = list(self._extensions)
+        if index is None:
+            chain.append(extension)
+        else:
+            chain.insert(index, extension)
+        self._extensions = tuple(chain)
+        self._rebuild_extension_chains()
+        extension.on_attach(self)
+
+    def remove_extension(self, extension: TCPExtension) -> None:
+        """Unregister ``extension`` (no-op when absent)."""
+        if extension not in self._extensions:
+            return
+        self._extensions = tuple(e for e in self._extensions if e is not extension)
+        self._rebuild_extension_chains()
+        extension.on_detach(self)
+
+    def extension(self, name: str) -> Optional[TCPExtension]:
+        """The first registered extension with ``name``, if any."""
+        for ext in self._extensions:
+            if ext.name == name:
+                return ext
+        return None
+
+    def _rebuild_extension_chains(self) -> None:
+        overrides = {ext: frozenset(overridden_hooks(ext)) for ext in self._extensions}
+
+        def chain(hook: str) -> Tuple[TCPExtension, ...]:
+            return tuple(e for e in self._extensions if hook in overrides[e])
+
+        self._ext_on_segment_in = chain("on_segment_in")
+        self._ext_on_ack = chain("on_ack")
+        self._ext_filter_transmit = chain("filter_transmit")
+        self._ext_on_state_change = chain("on_state_change")
+        self._ext_on_isn_learned = chain("on_isn_learned")
+        self._ext_after_output = chain("after_output")
+
+    def set_state(self, new_state: TCPState) -> None:
+        """Transition the TCP state, notifying state-change hooks."""
+        old = self.state
+        self.state = new_state
+        if old is not new_state:
+            hooks = self._ext_on_state_change
+            if hooks:
+                for ext in hooks:
+                    ext.on_state_change(self, old, new_state)
+
+    def note_isn_learned(self, kind: str, isn_abs: int) -> None:
+        hooks = self._ext_on_isn_learned
+        if hooks:
+            for ext in hooks:
+                ext.on_isn_learned(self, kind, isn_abs)
+
+    def adopt_send_isn(self, isn_abs: int) -> None:
+        """Re-anchor the send sequence space on a different ISN (§4.1).
+
+        Used by replication extensions when the ISN this endpoint chose
+        locally must be replaced by the one the peer actually handshook
+        with: every send-side anchor moves so that ``iss == isn_abs``
+        with the SYN consumed and nothing in flight.
+        """
+        self.iss = isn_abs
+        self.snd_una = isn_abs
+        self.snd_nxt = isn_abs + 1
+        self.snd_max = isn_abs + 1
+        self.note_isn_learned("rebase", isn_abs)
 
     # ------------------------------------------------------------- opening
     def open_active(self) -> None:
@@ -243,11 +291,11 @@ class TCPConnection:
         if self.state is not TCPState.CLOSED:
             raise ConnectionClosed(f"open_active in state {self.state}")
         self._choose_isn()
-        self.state = TCPState.SYN_SENT
-        self._handshake_sid = self._begin_span("handshake", kind="active")
-        self._send_syn(with_ack=False)
-        self._arm_rto()
-        self._trace("active_open")
+        self.set_state(TCPState.SYN_SENT)
+        self._handshake_sid = self.begin_span("handshake", kind="active")
+        self.output.send_syn(with_ack=False)
+        self.retransmit.arm_rto()
+        self.trace_event("active_open")
 
     def open_passive(self, syn: TCPSegment) -> None:
         """Server-side: a listener accepted this SYN; answer SYN/ACK."""
@@ -256,17 +304,18 @@ class TCPConnection:
         self._choose_isn()
         self.irs = syn.seq  # adopt the wire value as the absolute origin
         self.rcv_nxt = self.irs + 1
+        self.note_isn_learned("peer", self.irs)
         if syn.mss_option is not None:
             self.mss = min(self.mss, syn.mss_option)
             self.cc.mss = self.mss
         if syn.ts_val is not None and self.config.timestamps:
             self.use_timestamps = True
-            self._last_ts_recv = syn.ts_val
-        self.state = TCPState.SYN_RCVD
-        self._handshake_sid = self._begin_span("handshake", kind="passive")
-        self._send_syn(with_ack=True)
-        self._arm_rto()
-        self._trace("passive_open")
+            self.last_ts_recv = syn.ts_val
+        self.set_state(TCPState.SYN_RCVD)
+        self._handshake_sid = self.begin_span("handshake", kind="passive")
+        self.output.send_syn(with_ack=True)
+        self.retransmit.arm_rto()
+        self.trace_event("passive_open")
 
     def _choose_isn(self) -> None:
         if self.config.isn is not None:
@@ -277,10 +326,7 @@ class TCPConnection:
         self.snd_una = isn
         self.snd_nxt = isn + 1  # SYN consumes one sequence number
         self.snd_max = isn + 1
-
-    def _send_syn(self, with_ack: bool) -> None:
-        flags = FLAG_SYN | (FLAG_ACK if with_ack else 0)
-        self._emit(flags, self.iss, EMPTY, mss_option=self.config.mss)
+        self.note_isn_learned("local", isn)
 
     # --------------------------------------------------------- application API
     def app_write(self, data: ByteSpan) -> int:
@@ -299,7 +345,7 @@ class TCPConnection:
         before = self.recv_buffer.window()
         span = self.recv_buffer.read(max_bytes)
         if len(span) and self.is_synchronized:
-            self._maybe_send_window_update(before)
+            self.output.maybe_send_window_update(before)
         return span
 
     def app_close(self) -> None:
@@ -315,828 +361,87 @@ class TCPConnection:
             self._enter_closed(None)
             return
         if self.state is TCPState.ESTABLISHED or self.state is TCPState.SYN_RCVD:
-            self.state = TCPState.FIN_WAIT_1
+            self.set_state(TCPState.FIN_WAIT_1)
         elif self.state is TCPState.CLOSE_WAIT:
-            self.state = TCPState.LAST_ACK
+            self.set_state(TCPState.LAST_ACK)
         self.try_output()
 
     def app_abort(self) -> None:
         """Abortive close: emit RST and discard state."""
         if self.is_synchronized or self.state is TCPState.SYN_RCVD:
-            self._emit(FLAG_RST | FLAG_ACK, self.snd_nxt, EMPTY)
+            self.output.emit(FLAG_RST | FLAG_ACK, self.snd_nxt, EMPTY)
         self._enter_closed(ConnectionReset("connection aborted locally"))
 
-    # ------------------------------------------------------------- output path
-    def _advertised_window(self) -> int:
-        window = min(self.recv_buffer.window(), 0xFFFF)
-        return window
-
+    # ---------------------------------------------------------- engine facade
     def try_output(self) -> None:
         """Send whatever the windows currently allow."""
-        if self.state not in (
-            TCPState.ESTABLISHED,
-            TCPState.FIN_WAIT_1,
-            TCPState.CLOSE_WAIT,
-            TCPState.CLOSING,
-            TCPState.LAST_ACK,
-        ):
-            return
-        if (
-            self._last_data_send_time is not None
-            and self.flight_size == 0
-            and self.sim.now - self._last_data_send_time > self.rtt.rto
-        ):
-            # Idle longer than an RTO: restart from the initial window
-            # (RFC 2861, as Linux does).
-            self.cc.restart_after_idle()
-        usable_window = min(self.snd_wnd, self.cc.window())
-        tail = self.send_buffer.tail_offset
-        sent_something = False
-        while True:
-            in_flight = self.snd_nxt - self.snd_una
-            window_left = usable_window - in_flight
-            next_offset = self._snd_offset(self.snd_nxt)
-            available = tail - next_offset
-            if available > 0 and window_left > 0:
-                chunk = min(self.mss, available, window_left)
-                if (
-                    self.config.nagle
-                    and chunk < self.mss
-                    and in_flight > 0
-                    and not self._fin_pending
-                ):
-                    break
-                payload = self.send_buffer.data_range(next_offset, next_offset + chunk)
-                flags = FLAG_ACK
-                fin_now = (
-                    self._fin_pending
-                    and not self._fin_sent
-                    and next_offset + chunk == tail
-                    and window_left > chunk
-                )
-                if fin_now:
-                    flags |= FLAG_FIN
-                if next_offset + chunk == tail:
-                    flags |= FLAG_PSH
-                self._emit(flags, self.snd_nxt, payload)
-                self.snd_nxt += chunk
-                if fin_now:
-                    self._note_fin_sent(self.snd_nxt)
-                    self.snd_nxt += 1
-                self.snd_max = max(self.snd_max, self.snd_nxt)
-                if self._timing is None and not self.suppress_output:
-                    self._timing = (self.snd_nxt, self.sim.now)
-                self._arm_rto_if_idle()
-                sent_something = True
-                continue
-            # No payload sendable: maybe a lone FIN.
-            if (
-                self._fin_pending
-                and not self._fin_sent
-                and available == 0
-                and window_left > 0
-            ):
-                self._emit(FLAG_ACK | FLAG_FIN, self.snd_nxt, EMPTY)
-                self._note_fin_sent(self.snd_nxt)
-                self.snd_nxt += 1
-                self.snd_max = max(self.snd_max, self.snd_nxt)
-                self._arm_rto_if_idle()
-                sent_something = True
-            break
-        # Zero-window: arm the persist timer when data waits but the peer
-        # advertises nothing and nothing is in flight to trigger an ACK.
-        if (
-            not sent_something
-            and self.snd_wnd == 0
-            and self.send_buffer.tail_offset > self._snd_offset(self.snd_nxt)
-            and self.flight_size == 0
-        ):
-            self._arm_persist()
-        if self.shadow_mode:
-            self._apply_pending_shadow_ack()
+        self.output.try_output()
 
-    def _note_fin_sent(self, seq_abs: int) -> None:
-        self._fin_sent = True
-        self._fin_seq = seq_abs
-
-    def _emit(
-        self,
-        flags: int,
-        seq_abs: int,
-        payload: ByteSpan,
-        mss_option: Optional[int] = None,
-    ) -> None:
-        """Build and transmit one segment (suppressed in shadow mode)."""
-        ts_val = ts_ecr = None
-        if self.use_timestamps or (flags & FLAG_SYN and self.config.timestamps):
-            ts_val = self.sim.now
-            ts_ecr = self._last_ts_recv
-        segment = TCPSegment(
-            self.local_port,
-            self.remote_port,
-            wrap(seq_abs),
-            wrap(self.rcv_nxt) if flags & FLAG_ACK else 0,
-            flags,
-            self._advertised_window(),
-            payload,
-            mss_option=mss_option,
-            ts_val=ts_val,
-            ts_ecr=ts_ecr,
-        )
-        if flags & FLAG_ACK:
-            self._ack_sent_housekeeping()
-        if len(payload) > 0 or flags & (FLAG_SYN | FLAG_FIN):
-            self._last_data_send_time = self.sim.now
-        self._transmit(segment)
-
-    def _ack_sent_housekeeping(self) -> None:
-        self._segments_since_ack = 0
-        self._ack_scheduled = False
-        self.delack_timer.stop()
-        self._last_advertised_window = self.recv_buffer.window()
-
-    def _transmit(self, segment: TCPSegment) -> None:
-        if self.suppress_output:
-            self.suppressed_segments += 1
-            self._trace("suppressed", seg=segment)
-            return
-        self.segments_sent += 1
-        self.bytes_sent += segment.payload_length
-        self._trace("send", seg=segment)
-        self.layer.send_segment(self, segment)
-
-    # ------------------------------------------------------------ ACK emission
     def ack_now(self) -> None:
         """Send an immediate pure ACK."""
-        if self.state in (TCPState.CLOSED, TCPState.LISTEN, TCPState.SYN_SENT):
-            return
-        self._emit(FLAG_ACK, self.snd_nxt, EMPTY)
+        self.output.ack_now()
 
-    #: Challenge-ACK budget: at most this many per window.
-    _CHALLENGE_LIMIT = 5
-    _CHALLENGE_WINDOW = 0.1
-
-    def _challenge_ack(self) -> None:
-        """Rate-limited ACK answering an unacceptable segment (RFC 5961)."""
-        now = self.sim.now
-        if now - self._challenge_window_start > self._CHALLENGE_WINDOW:
-            self._challenge_window_start = now
-            self._challenge_count = 0
-        if self._challenge_count >= self._CHALLENGE_LIMIT:
-            return
-        self._challenge_count += 1
-        self.ack_now()
-
-    def _schedule_ack(self, advanced_segments: int) -> None:
-        """Delayed-ACK policy after receiving in-order data."""
-        if not self.config.delayed_ack:
-            self.ack_now()
-            return
-        self._segments_since_ack += advanced_segments
-        if self._segments_since_ack >= self.config.delack_segments:
-            self.ack_now()
-            return
-        if not self._ack_scheduled:
-            self._ack_scheduled = True
-            if not self.suppress_output:
-                self.delack_timer.start(self.config.delack_timeout)
-
-    def _on_delack(self) -> None:
-        if not self.layer.host.is_up:
-            return
-        if self._ack_scheduled:
-            self.ack_now()
-
-    def _maybe_send_window_update(self, window_before: int) -> None:
-        """After an application read, reopen a closed/shrunken window."""
-        window_now = self.recv_buffer.window()
-        threshold = min(2 * self.mss, self.config.rcv_buffer // 2)
-        if (
-            self._last_advertised_window < threshold
-            and window_now - self._last_advertised_window >= threshold
-        ):
-            self.ack_now()
-
-    # ---------------------------------------------------------- timer handlers
-    def _arm_rto(self) -> None:
-        if self.suppress_output:
-            return
-        self.rto_timer.start(self.rtt.rto)
-
-    def _arm_rto_if_idle(self) -> None:
-        if self.suppress_output:
-            return
-        self.rto_timer.start_if_idle(self.rtt.rto)
-
-    def _on_rto(self) -> None:
-        if not self.layer.host.is_up or self.state is TCPState.CLOSED:
-            return
-        self._retransmit_count += 1
-        limit = (
-            self.config.max_syn_retransmits
-            if self.state in (TCPState.SYN_SENT, TCPState.SYN_RCVD)
-            else self.config.max_retransmits
-        )
-        if self._retransmit_count > limit:
-            self._trace("give_up", retransmits=self._retransmit_count)
-            error: BaseException
-            if self.state is TCPState.SYN_SENT:
-                error = ConnectionTimeout("connect timed out")
-            else:
-                error = ConnectionTimeout("too many retransmissions")
-            self._enter_closed(error)
-            return
-        self.rtt.on_timeout()
-        self._timing = None  # Karn: never sample a retransmitted range
-        if self.is_synchronized:
-            self.cc.on_retransmission_timeout(self.flight_size)
-            self._fast_recovery_point = None
-            self._dupacks = 0
-            if self.snd_una < self.snd_max:
-                self._rto_recovery_point = self.snd_max
-        if self._retx_sid is None:
-            self._retx_sid = self._begin_span(
-                "retx_burst", cause="rto", flight=self.flight_size
-            )
-        self._retransmit_head()
-        self._arm_rto()
-
-    def _retransmit_head(self) -> None:
-        """Retransmit the oldest unacknowledged segment."""
-        self.retransmissions += 1
-        if self.state is TCPState.SYN_SENT:
-            self._send_syn(with_ack=False)
-            return
-        if self.state is TCPState.SYN_RCVD:
-            self._send_syn(with_ack=True)
-            return
-        if self._fin_sent and self._fin_seq is not None and self.snd_una == self._fin_seq:
-            self._emit(FLAG_ACK | FLAG_FIN, self._fin_seq, EMPTY)
-            return
-        if self.snd_una >= self.snd_max:
-            return
-        start = self._snd_offset(self.snd_una)
-        end_limit = self._fin_seq if self._fin_seq is not None else self.snd_max
-        chunk = min(self.mss, self._snd_offset(end_limit) - start)
-        if chunk <= 0:
-            return
-        payload = self.send_buffer.data_range(start, start + chunk)
-        flags = FLAG_ACK
-        if (
-            self._fin_sent
-            and self._fin_seq is not None
-            and self.snd_una + chunk == self._fin_seq
-        ):
-            flags |= FLAG_FIN
-            self._emit(flags, self.snd_una, payload)
-            return
-        self._emit(flags, self.snd_una, payload)
-
-    def _arm_persist(self) -> None:
-        if self.suppress_output or self.persist_timer.running:
-            return
-        self.persist_timer.start(self._persist_interval)
-
-    def _on_persist(self) -> None:
-        if not self.layer.host.is_up or not self.is_synchronized:
-            return
-        if self.snd_wnd > 0:
-            self._persist_interval = PERSIST_TIMEOUT_MIN
-            self.try_output()
-            return
-        # Send a one-byte window probe if data is waiting.  The probe is
-        # a real data byte and consumes sequence space: if the receiver's
-        # window opened meanwhile it will ACK the byte, and that ACK must
-        # be coherent with our send state.
-        next_offset = self._snd_offset(self.snd_nxt)
-        if self.send_buffer.tail_offset > next_offset and self.snd_nxt == self.snd_max:
-            payload = self.send_buffer.data_range(next_offset, next_offset + 1)
-            self._emit(FLAG_ACK, self.snd_nxt, payload)
-            self.snd_nxt += 1
-            self.snd_max = self.snd_nxt
-        self._persist_interval = min(self._persist_interval * 2, PERSIST_TIMEOUT_MAX)
-        self.persist_timer.start(self._persist_interval)
-
-    def _on_time_wait(self) -> None:
-        if self.state is TCPState.TIME_WAIT:
-            self._enter_closed(None)
-
-    # ------------------------------------------------------------ input path
     def on_segment(self, segment: TCPSegment) -> None:
         """Process one inbound (or tapped/injected) segment."""
-        self.segments_received += 1
-        self._trace("recv", seg=segment)
-        if self._awaiting_first_ack:
-            # Post-takeover, suppression is lifted, so this segment came
-            # from the client itself: its retransmission reached us.
-            self._note_failover_progress(segment.payload_length)
-        if self.on_segment_observed is not None:
-            self.on_segment_observed(segment)
-        if segment.ts_val is not None and self.use_timestamps:
-            self._last_ts_recv = segment.ts_val
-        if self.state is TCPState.SYN_SENT:
-            self._segment_in_syn_sent(segment)
-        elif self.state is TCPState.CLOSED:
-            pass  # late segment after close; the layer answers with RST
-        elif (
-            self.shadow_mode
-            and not self.isn_rebased
-            and self.state is TCPState.SYN_RCVD
-            and segment.is_ack
-            and unwrap(segment.seq, self.rcv_nxt) != self.irs + 1
-        ):
-            # A late client segment reached an un-synchronised shadow (the
-            # tap lost the early exchange).  Its *cumulative* ACK does not
-            # reveal the primary's ISN — rebasing from it would skew the
-            # whole sequence mapping — so absorb the payload only and keep
-            # waiting for a safe ISN source (a seq==IRS+1 segment, or the
-            # tapped primary SYN/ACK via the backup engine).
-            if segment.payload_length:
-                self.inject_receive_data(unwrap(segment.seq, self.rcv_nxt), segment.payload)
-        else:
-            self._segment_in_general(segment)
+        self.input.on_segment(segment)
 
-    # -- SYN_SENT -------------------------------------------------------------
-    def _segment_in_syn_sent(self, segment: TCPSegment) -> None:
-        ack_abs = unwrap(segment.ack, self.snd_nxt) if segment.is_ack else None
-        ack_acceptable = ack_abs is not None and self.snd_una < ack_abs <= self.snd_nxt
-        if segment.is_ack and not ack_acceptable:
-            if not segment.is_rst:
-                self._send_rst_for(segment)
-            return
-        if segment.is_rst:
-            if ack_acceptable:
-                self._enter_closed(ConnectionRefused("connection refused"))
-            return
-        if not segment.is_syn:
-            return
-        self.irs = segment.seq
-        self.rcv_nxt = self.irs + 1
-        if segment.mss_option is not None:
-            self.mss = min(self.mss, segment.mss_option)
-            self.cc.mss = self.mss
-        if segment.ts_val is not None and self.config.timestamps:
-            self.use_timestamps = True
-            self._last_ts_recv = segment.ts_val
-        if ack_acceptable:
-            self.snd_una = ack_abs  # our SYN is acked
-            self._retransmit_count = 0
-            self.rto_timer.stop()
-            self._update_send_window(segment, self.irs, ack_abs)
-            self.state = TCPState.ESTABLISHED
-            self._trace("established")
-            self._end_span("handshake", self._handshake_sid)
-            self._handshake_sid = None
-            self.ack_now()
-            if self.on_established is not None:
-                self.on_established()
-            self.try_output()
-        else:
-            # Simultaneous open.
-            self.state = TCPState.SYN_RCVD
-            self._send_syn(with_ack=True)
-            self._arm_rto()
-
-    # -- everything else --------------------------------------------------------
-    def _segment_in_general(self, segment: TCPSegment) -> None:
-        seq_abs = unwrap(segment.seq, self.rcv_nxt)
-        seg_len = segment.sequence_space_length
-        if not self._sequence_acceptable(seq_abs, seg_len):
-            if not segment.is_rst:
-                # Duplicate or out-of-window: re-ACK our current state
-                # (rate-limited so two confused peers cannot loop).
-                self._challenge_ack()
-            return
-        if segment.is_rst:
-            self._enter_closed(ConnectionReset("connection reset by peer"))
-            return
-        if segment.is_syn and self.state is TCPState.SYN_RCVD and seq_abs == self.irs:
-            # Retransmitted SYN: re-send our SYN/ACK.
-            self._send_syn(with_ack=True)
-            return
-        if segment.is_syn and seq_abs >= self.rcv_nxt:
-            # SYN inside the window is a protocol violation.
-            self._emit(FLAG_RST | FLAG_ACK, self.snd_nxt, EMPTY)
-            self._enter_closed(ConnectionReset("SYN received mid-connection"))
-            return
-        if not segment.is_ack:
-            return
-        if not self._process_ack(segment, seq_abs):
-            return
-        if segment.payload_length > 0:
-            self._process_payload(segment, seq_abs)
-        if segment.is_fin:
-            self._process_fin(segment, seq_abs)
-
-    def _sequence_acceptable(self, seq_abs: int, seg_len: int) -> bool:
-        window = self.recv_buffer.window()
-        if seg_len == 0:
-            if window == 0:
-                return seq_abs == self.rcv_nxt
-            return self.rcv_nxt <= seq_abs < self.rcv_nxt + window
-        if window == 0:
-            return False
-        return seq_abs < self.rcv_nxt + window and seq_abs + seg_len > self.rcv_nxt
-
-    # -- ACK processing -----------------------------------------------------------
-    def _process_ack(self, segment: TCPSegment, seq_abs: int) -> bool:
-        """Returns False when processing must stop (segment dropped)."""
-        ack_abs = unwrap(segment.ack, self.snd_una)
-        if self.state is TCPState.SYN_RCVD:
-            if self.shadow_mode and not self.isn_rebased:
-                self._rebase_isn(ack_abs)
-                ack_abs = unwrap(segment.ack, self.snd_una)
-            if self.shadow_mode and ack_abs > self.snd_max:
-                # ISN came from the tapped SYN/ACK; this client ACK already
-                # covers data the (suppressed) application has yet to
-                # produce — stash it, establish, apply as data appears.
-                self._shadow_pending_ack = max(self._shadow_pending_ack or 0, ack_abs)
-                ack_abs = self.snd_max
-            if self.snd_una <= ack_abs <= self.snd_max:
-                self._retransmit_count = 0
-                self.rto_timer.stop()
-                self.state = (
-                    TCPState.FIN_WAIT_1 if self._fin_pending else TCPState.ESTABLISHED
-                )
-                self._update_send_window(segment, seq_abs, ack_abs, force=True)
-                self._trace("established")
-                self._end_span("handshake", self._handshake_sid)
-                self._handshake_sid = None
-                if ack_abs > self.snd_una:
-                    self.snd_una = ack_abs
-                if self.on_established is not None:
-                    self.on_established()
-            else:
-                self._send_rst_for(segment)
-                return False
-        if ack_abs > self.snd_max:
-            if self.shadow_mode:
-                # The client acknowledged bytes the primary sent but our
-                # (slower) shadow application has not produced yet.
-                # Remember and apply once the data materialises (§4.2,
-                # determinism assumption).
-                self._shadow_pending_ack = max(
-                    self._shadow_pending_ack or 0, ack_abs
-                )
-                ack_abs = self.snd_max
-            else:
-                self._challenge_ack()
-                return False
-        # Window update comes first (RFC 793 ACK processing order): the
-        # try_output triggered by a new ACK must see the window this very
-        # segment advertises, or a sender can overshoot into a window the
-        # peer just closed.
-        self._update_send_window(segment, seq_abs, ack_abs)
-        if ack_abs > self.snd_una:
-            self._handle_new_ack(ack_abs)
-        elif (
-            ack_abs == self.snd_una
-            and segment.payload_length == 0
-            and not segment.is_syn
-            and not segment.is_fin
-            and self.flight_size > 0
-        ):
-            self._handle_duplicate_ack()
-        # State transitions driven by our FIN being acknowledged.
-        if self._fin_sent and self._fin_seq is not None and self.snd_una > self._fin_seq:
-            self._fin_acked = True
-            if self.state is TCPState.FIN_WAIT_1:
-                self.state = TCPState.FIN_WAIT_2
-            elif self.state is TCPState.CLOSING:
-                self._enter_time_wait()
-            elif self.state is TCPState.LAST_ACK:
-                self._enter_closed(None)
-                return False
-        return True
-
-    def _handle_new_ack(self, ack_abs: int) -> None:
-        bytes_acked = ack_abs - self.snd_una
-        previous_una = self.snd_una
-        self.snd_una = ack_abs
-        self._dupacks = 0
-        self._retransmit_count = 0
-        self.rtt.reset_backoff()
-        # Release acknowledged payload bytes (exclude SYN/FIN seq space).
-        data_ack_offset = self._snd_offset(ack_abs)
-        if self._fin_seq is not None and ack_abs > self._fin_seq:
-            data_ack_offset = self._snd_offset(self._fin_seq)
-        if data_ack_offset > self.send_buffer.una_offset:
-            self.send_buffer.ack_to(data_ack_offset)
-            if self.on_writable is not None:
-                self.on_writable()
-        # RTT sample (Karn-protected: _timing is cleared on retransmission).
-        if self._timing is not None and ack_abs >= self._timing[0]:
-            sample = self.sim.now - self._timing[1]
-            self.rtt.on_measurement(sample)
-            self.layer.rtt_samples.observe(sample)
-            self._timing = None
-        # Congestion control.
-        if self.cc.in_fast_recovery:
-            if (
-                self._fast_recovery_point is not None
-                and ack_abs >= self._fast_recovery_point
-            ):
-                self.cc.exit_fast_recovery()
-                self._fast_recovery_point = None
-            else:
-                # NewReno partial ACK: retransmit the next hole at once.
-                self.cc.on_partial_ack(bytes_acked)
-                self._retransmit_head()
-        else:
-            self.cc.on_ack_new(bytes_acked)
-        # Go-back-N continuation after an RTO (Linux-style slow-start
-        # retransmission driven by returning ACKs).
-        if self._rto_recovery_point is not None:
-            if ack_abs >= self._rto_recovery_point:
-                self._rto_recovery_point = None
-            elif ack_abs > previous_una and ack_abs < self.snd_max:
-                self._retransmit_head()
-        # Retransmission timer: restart while data remains outstanding.
-        if self.snd_una < self.snd_max:
-            self._arm_rto()
-        else:
-            self.rto_timer.stop()
-            self._rto_recovery_point = None
-        if (
-            self._retx_sid is not None
-            and self._rto_recovery_point is None
-            and not self.cc.in_fast_recovery
-        ):
-            self._end_span("retx_burst", self._retx_sid, retransmissions=self.retransmissions)
-            self._retx_sid = None
-        self.try_output()
-
-    def _note_failover_progress(self, amount: int) -> None:
-        """First client segment accepted after takeover — the instant the
-        paper calls "first retransmission accepted" (end of RTO wait)."""
-        self._awaiting_first_ack = False
-        trace = self.sim.trace
-        if trace.enabled_for("failover"):
-            trace.emit(
-                self.sim.now,
-                "failover",
-                "first_ack",
-                host=self.layer.host.name,
-                remote=f"{self.remote_ip}:{self.remote_port}",
-                amount=amount,
-            )
-
-    def _handle_duplicate_ack(self) -> None:
-        self.dupacks_received += 1
-        self._dupacks += 1
-        if self.cc.in_fast_recovery:
-            self.cc.on_dupack_in_recovery()
-            self.try_output()
-            return
-        if self._dupacks == DUPACK_THRESHOLD:
-            self._fast_recovery_point = self.snd_max
-            self.cc.enter_fast_recovery(self.flight_size)
-            self._timing = None
-            if self._retx_sid is None:
-                self._retx_sid = self._begin_span(
-                    "retx_burst", cause="dupacks", flight=self.flight_size
-                )
-            self._retransmit_head()
-            self._arm_rto()
-
-    def _update_send_window(
-        self, segment: TCPSegment, seq_abs: int, ack_abs: int, force: bool = False
-    ) -> None:
-        if (
-            force
-            or seq_abs > self._snd_wl1
-            or (seq_abs == self._snd_wl1 and ack_abs >= self._snd_wl2)
-        ):
-            old_window = self.snd_wnd
-            self.snd_wnd = segment.window
-            self._snd_wl1 = seq_abs
-            self._snd_wl2 = ack_abs
-            if self.snd_wnd > 0:
-                self.persist_timer.stop()
-                self._persist_interval = PERSIST_TIMEOUT_MIN
-                if old_window == 0:
-                    self.try_output()
-
-    def rebase_from_primary_isn(self, isn_abs: int) -> None:
-        """Shadow ISN sync from the *tapped primary SYN/ACK* (whose seq
-        field is the ISN itself) — the source that works even when the
-        tap lost every early client segment."""
-        if not self.shadow_mode or self.isn_rebased:
-            return
-        if self.state is not TCPState.SYN_RCVD:
-            return
-        old_iss = self.iss
-        self.iss = isn_abs
-        self.snd_una = self.iss
-        self.snd_nxt = self.iss + 1
-        self.snd_max = self.iss + 1
-        self.isn_rebased = True
-        self._trace("isn_rebase_from_synack", old=wrap(old_iss), new=wrap(self.iss))
-
-    def _rebase_isn(self, ack_abs: int) -> None:
-        """Shadow handshake (§4.1 step 3): adopt the primary's ISN.
-
-        The client's handshake ACK acknowledges ``primary_ISS + 1``; our
-        own (suppressed) SYN/ACK used a different ISN, so rewrite all send
-        sequence state before standard processing sees the ACK.
-        """
-        old_iss = self.iss
-        self.iss = ack_abs - 1
-        self.snd_una = self.iss
-        self.snd_nxt = self.iss + 1
-        self.snd_max = self.iss + 1
-        self.isn_rebased = True
-        self._trace("isn_rebase", old=wrap(old_iss), new=wrap(self.iss))
-
-    def _apply_pending_shadow_ack(self) -> None:
-        """Apply a client ACK that ran ahead of the shadow application.
-
-        Handling the ack wakes the (shadow) application, which writes and
-        virtually sends more data, which may allow more of the pending
-        ack to apply — iterated here with a re-entrancy guard, because
-        the wake path leads straight back into ``try_output``.
-        """
-        if self._applying_shadow_ack:
-            return
-        self._applying_shadow_ack = True
-        try:
-            while self._shadow_pending_ack is not None:
-                pending = self._shadow_pending_ack
-                target = min(pending, self.snd_max)
-                if pending <= self.snd_max:
-                    self._shadow_pending_ack = None
-                if target > self.snd_una:
-                    self._handle_new_ack(target)
-                elif self._shadow_pending_ack is not None:
-                    break  # no progress possible until more data is produced
-        finally:
-            self._applying_shadow_ack = False
-
-    # -- payload ---------------------------------------------------------------
-    def _process_payload(self, segment: TCPSegment, seq_abs: int) -> None:
-        offset = self._rcv_offset(seq_abs)
-        before = self.rcv_nxt
-        advanced = self.recv_buffer.insert(offset, segment.payload)
-        self.bytes_received += segment.payload_length
-        if advanced > 0:
-            self.rcv_nxt += advanced
-            full_segments = max(1, advanced // self.mss)
-            self._schedule_ack(full_segments)
-            if self.on_rcv_advance is not None:
-                self.on_rcv_advance(self.rcv_nxt)
-            if self.on_readable is not None:
-                self.on_readable()
-        else:
-            # Out-of-order or duplicate: immediate ACK to feed the sender's
-            # fast-retransmit machinery.
-            self.ack_now()
-            return
-        if self.recv_buffer.out_of_order_bytes > 0 and self.rcv_nxt > before:
-            # Filled part of a hole but more reordering remains: ACK now.
-            self.ack_now()
-
-    # -- FIN ---------------------------------------------------------------------
-    def _process_fin(self, segment: TCPSegment, seq_abs: int) -> None:
-        fin_seq = seq_abs + segment.payload_length
-        if fin_seq != self.rcv_nxt:
-            return  # FIN beyond a hole; wait for retransmission
-        if self._fin_received:
-            self.ack_now()
-            return
-        self._fin_received = True
-        self.rcv_nxt += 1
-        self.ack_now()
-        if self.on_readable is not None:
-            self.on_readable()  # wake readers so they observe EOF
-        if self.state is TCPState.ESTABLISHED:
-            self.state = TCPState.CLOSE_WAIT
-        elif self.state is TCPState.FIN_WAIT_1:
-            if self._fin_acked:
-                self._enter_time_wait()
-            else:
-                self.state = TCPState.CLOSING
-        elif self.state is TCPState.FIN_WAIT_2:
-            self._enter_time_wait()
-        elif self.state is TCPState.TIME_WAIT:
-            self.time_wait_timer.start(self.config.time_wait)
+    def _maybe_send_window_update(self, window_before: int) -> None:
+        self.output.maybe_send_window_update(window_before)
 
     # ------------------------------------------------------------ state exits
     def _enter_time_wait(self) -> None:
-        self.state = TCPState.TIME_WAIT
-        self.rto_timer.stop()
-        self.persist_timer.stop()
-        self.time_wait_timer.start(self.config.time_wait)
-        self._trace("time_wait")
+        self.set_state(TCPState.TIME_WAIT)
+        self.retransmit.rto_timer.stop()
+        self.retransmit.persist_timer.stop()
+        self.retransmit.time_wait_timer.start(self.config.time_wait)
+        self.trace_event("time_wait")
 
     def _enter_closed(self, error: Optional[BaseException]) -> None:
         previous = self.state
-        self.state = TCPState.CLOSED
+        self.set_state(TCPState.CLOSED)
         self.error = error
-        for timer in (
-            self.rto_timer,
-            self.delack_timer,
-            self.persist_timer,
-            self.time_wait_timer,
-        ):
-            timer.stop()
+        self.retransmit.stop_loss_timers()
+        self.output.delack_timer.stop()
         self.layer.connection_closed(self)
         # Crash mid-span: close any open episode so the trace stays paired.
-        self._end_span("handshake", self._handshake_sid, outcome="closed")
+        self.end_span("handshake", self._handshake_sid, outcome="closed")
         self._handshake_sid = None
-        self._end_span("retx_burst", self._retx_sid, outcome="closed")
+        self.end_span("retx_burst", self._retx_sid, outcome="closed")
         self._retx_sid = None
-        self._trace("closed", previous=previous.value, error=repr(error))
+        self.trace_event("closed", previous=previous.value, error=repr(error))
         if error is not None and self.on_error is not None:
             self.on_error(error)
         if self.on_closed is not None:
             self.on_closed()
 
-    def _send_rst_for(self, segment: TCPSegment) -> None:
-        if segment.is_ack:
-            rst = TCPSegment(
-                self.local_port, self.remote_port, segment.ack, 0, FLAG_RST, 0
-            )
-        else:
-            rst = TCPSegment(
-                self.local_port,
-                self.remote_port,
-                0,
-                wrap(unwrap(segment.seq, self.rcv_nxt) + segment.sequence_space_length),
-                FLAG_RST | FLAG_ACK,
-                0,
-            )
-        self._transmit(rst)
-
-    # ------------------------------------------------------------ ST-TCP hooks
+    # -------------------------------------------------------- failover surface
     def takeover(self) -> None:
-        """Failover: make this shadow connection live (§5).
+        """Failover entry point (§5): ask every registered extension that
+        models a standby replica to go live on this connection.
 
-        Output suppression is lifted; if unacknowledged data is
-        outstanding it is retransmitted immediately, otherwise a pure ACK
-        announces the (indistinguishable) server's liveness.
+        Dispatches to each extension exposing a ``takeover(conn)``
+        method, in registration order; a connection with no such
+        extension ignores the call.
         """
-        if not self.suppress_output:
-            return
-        self.suppress_output = False
-        self._awaiting_first_ack = True
-        self._trace("takeover", flight=self.flight_size)
-        if self.state is TCPState.CLOSED:
-            return
-        if self.flight_size > 0:
-            # The primary may have died mid-burst: bytes this shadow
-            # "sent" virtually but the primary never put on the wire are
-            # holes the client cannot dup-ack us toward.  Retransmit the
-            # head now and go-back-N through the rest as ACKs return.
-            self._rto_recovery_point = self.snd_max
-            self._retransmit_head()
-            self._arm_rto()
-        elif self.is_synchronized:
-            self.ack_now()
-        self.try_output()
+        for ext in self._extensions:
+            action = getattr(ext, "takeover", None)
+            if action is not None:
+                action(self)
 
     def inject_receive_data(self, seq_abs: int, payload: ByteSpan) -> int:
-        """ST-TCP recovery: insert client bytes recovered over the UDP
-        channel or from the packet logger (§4.2, §3.2).
-
-        Touches *only* the receive stream — crucially not the ACK
-        machinery, because a synthetic ACK arriving while a shadow is
-        still in SYN_RCVD would trigger the ISN rebase against the
-        shadow's own (wrong) ISN and skew the whole sequence mapping.
-        Returns how far ``rcv_nxt`` advanced.
-        """
-        if not (self.is_synchronized or self.state is TCPState.SYN_RCVD):
-            return 0
-        offset = self._rcv_offset(seq_abs)
-        advanced = self.recv_buffer.insert(offset, payload)
-        self.bytes_received += len(payload)
-        if advanced > 0:
-            self.rcv_nxt += advanced
-            if self.on_rcv_advance is not None:
-                self.on_rcv_advance(self.rcv_nxt)
-            if self.on_readable is not None:
-                self.on_readable()
-        return advanced
+        """Insert recovered client bytes into the receive stream (§4.2,
+        §3.2); see :meth:`BufferManager.inject_receive_data`."""
+        return self.buffers.inject_receive_data(seq_abs, payload)
 
     def fetch_received_range(self, start_offset: int, stop_offset: int) -> ByteSpan:
-        """Serve receive-stream bytes [start, stop) for backup recovery.
-
-        Bytes may live in the retention (second) buffer, the unread part
-        of the receive buffer, or both.
-        """
-        pieces = []
-        retention = self.recv_buffer.retention
-        if retention is not None:
-            fetch = getattr(retention, "fetch", None)
-            if fetch is not None:
-                pieces.append(fetch(start_offset, stop_offset))
-        pieces.append(self.recv_buffer.peek_unread(start_offset, stop_offset))
-        from repro.util.bytespan import concat
-
-        return concat([p for p in pieces if len(p)])
+        """Serve receive-stream bytes [start, stop) for backup recovery."""
+        return self.buffers.fetch_received_range(start_offset, stop_offset)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
+        suffix = ""
+        if self._extensions:
+            suffix = " +" + ",".join(ext.name for ext in self._extensions)
         return (
             f"<TCPConnection {self.local_ip}:{self.local_port} <-> "
-            f"{self.remote_ip}:{self.remote_port} {self.state.value}"
-            f"{' shadow' if self.shadow_mode else ''}>"
+            f"{self.remote_ip}:{self.remote_port} {self.state.value}{suffix}>"
         )

@@ -9,6 +9,7 @@ path and asserts the matching drill catches it.
 from pathlib import Path
 
 from repro.drill import run_drill_file
+from repro.sttcp.shadow import ShadowExtension
 from repro.tcp.tcb import TCPConnection
 
 SCRIPTS = Path(__file__).parent / "scripts"
@@ -26,9 +27,17 @@ def test_isn_rebase_noop_breaks_shadow_drill(monkeypatch):
     # Both rebase sources (tapped primary SYN/ACK, client handshake ACK)
     # must be disabled: with a lossless tap either alone suffices.
     monkeypatch.setattr(
-        TCPConnection, "rebase_from_primary_isn", lambda self, isn_abs: None
+        ShadowExtension, "learn_primary_isn", lambda self, conn, isn_abs: None
     )
-    monkeypatch.setattr(TCPConnection, "_rebase_isn", lambda self, ack_abs: None)
+
+    def no_rebase_on_ack(self, conn, segment, ack_abs):
+        # Keep the pending-ACK clamp, drop only the ISN rebase.
+        if ack_abs > conn.snd_max:
+            self.pending_ack = max(self.pending_ack or 0, ack_abs)
+            ack_abs = conn.snd_max
+        return ack_abs
+
+    monkeypatch.setattr(ShadowExtension, "on_ack", no_rebase_on_ack)
     result = run_drill_file(SCRIPTS / "t23_sttcp_shadow_convergence.py")
     assert not result.passed
 
@@ -40,15 +49,48 @@ def test_takeover_resending_acked_bytes_breaks_no_duplicate_drill(monkeypatch):
     from repro.tcp.constants import FLAG_ACK
     from repro.util.bytespan import PatternBytes
 
-    original = TCPConnection.takeover
+    original = ShadowExtension.takeover
 
-    def duplicating(self):
-        was_shadow = self.suppress_output and self.flight_size > 0
-        original(self)
+    def duplicating(self, conn):
+        was_shadow = self.suppressing and conn.flight_size > 0
+        original(self, conn)
         if was_shadow:
-            self._emit(FLAG_ACK, self.iss + 1, PatternBytes(1460, 0, 7))
+            conn.output.emit(FLAG_ACK, conn.iss + 1, PatternBytes(1460, 0, 7))
 
-    monkeypatch.setattr(TCPConnection, "takeover", duplicating)
+    monkeypatch.setattr(ShadowExtension, "takeover", duplicating)
     result = run_drill_file(SCRIPTS / "t25_sttcp_no_duplicate_delivery.py")
     assert not result.passed
     assert "seq 1" in result.failure
+
+
+def test_misordered_filter_transmit_chain_breaks_ordering_drill(monkeypatch):
+    # Sabotage the veto chain: instead of "first veto wins", let the
+    # *first* extension's verdict decide alone.  With the obs probe
+    # stacked behind the suppressor this is harmless for the verdict —
+    # but the probe is never consulted on vetoed segments in the correct
+    # protocol, while the sabotaged dispatch (taking only chain[0])
+    # still suppresses yet ALSO stops maintaining the rest of the chain;
+    # we model the classic mis-ordering by reversing the chain so the
+    # permissive probe answers first and shadow segments leak onto the
+    # wire.  The ordering drill's silence window must catch the leak.
+    from repro.tcp.output import OutputEngine
+
+    original = OutputEngine.transmit
+
+    def misordered(self, segment):
+        conn = self.conn
+        vetoers = conn._ext_filter_transmit
+        if vetoers:
+            if vetoers[-1].filter_transmit(conn, segment):
+                # Last-registered extension decided alone: earlier
+                # (suppressing) extensions never got their veto.
+                conn.segments_sent += 1
+                conn.bytes_sent += segment.payload_length
+                conn.trace_event("send", seg=segment)
+                conn.layer.send_segment(conn, segment)
+            return
+        original(self, segment)
+
+    monkeypatch.setattr(OutputEngine, "transmit", misordered)
+    result = run_drill_file(SCRIPTS / "t26_sttcp_extension_ordering.py")
+    assert not result.passed

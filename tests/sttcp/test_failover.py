@@ -10,6 +10,7 @@ from repro.apps.workload import (
 )
 from repro.harness.runner import run_workload
 from repro.sttcp.backup import ROLE_ACTIVE
+from repro.sttcp.shadow import ShadowExtension
 from repro.util.units import KB
 
 from tests.sttcp.conftest import make_scenario
@@ -93,7 +94,9 @@ def test_new_connections_served_by_backup_after_failover():
     assert late.result.error is None
     assert late.result.verified
     # And it is a regular (non-shadow) connection on the backup.
-    new_conns = [t for t in scenario.backup.tcp.connections if not t.shadow_mode]
+    new_conns = [
+        t for t in scenario.backup.tcp.connections if ShadowExtension.of(t) is None
+    ]
     assert new_conns or scenario.backup.tcp.segments_demuxed > 0
 
 
@@ -130,7 +133,7 @@ def test_upload_failover_uses_backup_receive_state():
 def test_shadow_suppression_lifted_on_all_connections():
     scenario, _run, _ = failover_run(echo_workload(20))
     for tcb in scenario.pair.backup_engine.shadow_connections:
-        assert not tcb.suppress_output
+        assert not ShadowExtension.of(tcb).suppressing
 
 
 def test_force_failover_for_planned_maintenance():

@@ -4,6 +4,7 @@ state tracking, backup acknowledgments, retention release."""
 from repro.apps.workload import bulk_workload, echo_workload, upload_workload
 from repro.harness.runner import run_workload
 from repro.sttcp.backup import ROLE_PASSIVE
+from repro.sttcp.shadow import ShadowExtension
 from repro.tcp.constants import TCPState
 from repro.util.units import KB
 
@@ -24,7 +25,7 @@ def test_backup_is_silent_during_failure_free_run():
     assert scenario.backup.tcp.connections  # shadow exists
     for tcb in scenario.backup.tcp.connections:
         assert tcb.segments_sent == 0
-        assert tcb.suppressed_segments > 0
+        assert ShadowExtension.of(tcb).suppressed_segments > 0
 
 
 def test_shadow_rebases_to_primary_isn():
@@ -32,7 +33,7 @@ def test_shadow_rebases_to_primary_isn():
     run_on(scenario, echo_workload(5)).require_clean()
     shadow = scenario.pair.backup_engine.shadow_connections[0]
     primary_tcb = scenario.primary.tcp.connections[0]
-    assert shadow.isn_rebased
+    assert ShadowExtension.of(shadow).isn_rebased
     assert shadow.iss == primary_tcb.iss or (
         # Absolute epochs may differ; wire (32-bit) ISNs must agree.
         shadow.iss & 0xFFFFFFFF == primary_tcb.iss & 0xFFFFFFFF

@@ -180,8 +180,10 @@ def test_challenge_acks_are_rate_limited():
             1000,
         )
         tcb.on_segment(bogus)
+    from repro.tcp.input import CHALLENGE_LIMIT
+
     responses = tcb.segments_sent - sent_before
-    assert responses <= tcb._CHALLENGE_LIMIT
+    assert responses <= CHALLENGE_LIMIT
 
 
 def test_data_while_in_fin_wait_states():

@@ -1,0 +1,427 @@
+"""Engine-isolation tests: each engine driven directly on a fake clock.
+
+No simulator, no hosts, no wire — a hand-cranked clock and a stub IP
+layer are enough to pin down the output engine's send-policy decision
+table, the retransmit engine's RFC 6298 backoff bounds, the buffer
+manager's sequence-space translation across the 2^32 wrap, and the
+extension dispatch contracts.
+"""
+
+import pytest
+
+from repro.errors import ConnectionTimeout
+from repro.net.addresses import IPAddress
+from repro.tcp.config import TCPConfig
+from repro.tcp.constants import (
+    FLAG_ACK,
+    FLAG_FIN,
+    FLAG_PSH,
+    PERSIST_TIMEOUT_MIN,
+    TCPState,
+)
+from repro.tcp.extension import TCPExtension, overridden_hooks
+from repro.tcp.segment import TCPSegment
+from repro.tcp.seqspace import wrap
+from repro.tcp.tcb import TCPConnection
+from repro.util.bytespan import PatternBytes
+
+
+# -- fake clock + stub layer --------------------------------------------------
+class _Handle:
+    __slots__ = ("time", "fn", "seq", "cancelled")
+
+    def __init__(self, time, fn, seq):
+        self.time = time
+        self.fn = fn
+        self.seq = seq
+        self.cancelled = False
+
+    def cancel(self):
+        self.cancelled = True
+
+
+class _NoTrace:
+    @staticmethod
+    def enabled_for(_category):
+        return False
+
+
+class FakeClock:
+    """Hand-cranked event clock satisfying the RestartableTimer contract."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.trace = _NoTrace()
+        self._queue = []
+        self._seq = 0
+
+    def call_later(self, delay, fn):
+        handle = _Handle(self.now + delay, fn, self._seq)
+        self._seq += 1
+        self._queue.append(handle)
+        return handle
+
+    def advance(self, dt):
+        """Move time forward, firing due callbacks in schedule order."""
+        deadline = self.now + dt
+        while True:
+            due = [h for h in self._queue if not h.cancelled and h.time <= deadline]
+            if not due:
+                break
+            head = min(due, key=lambda h: (h.time, h.seq))
+            self._queue.remove(head)
+            self.now = head.time
+            head.fn()
+        self._queue = [h for h in self._queue if not h.cancelled]
+        self.now = deadline
+
+
+class _Samples:
+    def observe(self, _value):
+        pass
+
+
+class FakeLayer:
+    """Stub IP layer: records transmissions instead of delivering them."""
+
+    def __init__(self, clock):
+        self.sim = clock
+        self.sent = []
+        self.rtt_samples = _Samples()
+
+        class _Host:
+            name = "unit"
+            is_up = True
+
+        self.host = _Host()
+
+    def send_segment(self, _conn, segment):
+        self.sent.append((self.sim.now, segment))
+
+    def generate_isn(self):
+        return 1000
+
+    def connection_closed(self, conn):
+        pass
+
+
+def make_conn(**overrides):
+    clock = FakeClock()
+    layer = FakeLayer(clock)
+    config = TCPConfig(**overrides)
+    conn = TCPConnection(
+        layer, IPAddress("10.0.0.1"), 8000, IPAddress("10.0.0.2"), 40000, config
+    )
+    return conn, layer, clock
+
+
+def establish(conn, iss=1000, irs=5000, wnd=65535, cwnd=10**6):
+    """Put a connection straight into ESTABLISHED with known anchors."""
+    conn.state = TCPState.ESTABLISHED
+    conn.iss = iss
+    conn.snd_una = conn.snd_nxt = conn.snd_max = iss + 1
+    conn.irs = irs
+    conn.rcv_nxt = irs + 1
+    conn.snd_wnd = wnd
+    conn.cc.cwnd = cwnd
+
+
+def ack_from_peer(conn, ack_abs, wnd=65535, seq_abs=None):
+    seq_abs = conn.rcv_nxt if seq_abs is None else seq_abs
+    return TCPSegment(
+        conn.remote_port, conn.local_port, wrap(seq_abs), wrap(ack_abs), FLAG_ACK, wnd
+    )
+
+
+def payloads(layer):
+    return [seg.payload_length for _t, seg in layer.sent]
+
+
+# -- output engine: the send-policy decision table ----------------------------
+class TestOutputDecisionTable:
+    def test_segments_at_mss_with_push_on_tail(self):
+        conn, layer, _ = make_conn()
+        establish(conn)
+        conn.app_write(PatternBytes(3000, 0, 3))
+        assert payloads(layer) == [1460, 1460, 80]
+        assert all(seg.flags & FLAG_ACK for _t, seg in layer.sent)
+        assert layer.sent[-1][1].flags & FLAG_PSH
+        assert conn.snd_nxt == conn.iss + 1 + 3000
+
+    def test_flow_window_limits_transmission(self):
+        conn, layer, _ = make_conn()
+        establish(conn, wnd=1000)
+        conn.app_write(PatternBytes(3000, 0, 3))
+        assert payloads(layer) == [1000]
+        # Window opens: the rest flows out.
+        conn.snd_wnd = 65535
+        conn.try_output()
+        assert payloads(layer) == [1000, 1460, 540]
+
+    def test_congestion_window_limits_transmission(self):
+        conn, layer, _ = make_conn()
+        establish(conn, cwnd=1460)
+        conn.app_write(PatternBytes(3000, 0, 3))
+        assert payloads(layer) == [1460]
+
+    def test_nagle_holds_subsize_segment_while_data_in_flight(self):
+        conn, layer, _ = make_conn(nagle=True)
+        establish(conn)
+        conn.app_write(PatternBytes(1560, 0, 3))
+        assert payloads(layer) == [1460]  # the 100-byte tail waits
+        conn.on_segment(ack_from_peer(conn, conn.iss + 1 + 1460))
+        assert payloads(layer)[-1] == 100  # flight drained: tail released
+
+    def test_nagle_off_sends_subsize_immediately(self):
+        conn, layer, _ = make_conn(nagle=False)
+        establish(conn)
+        conn.app_write(PatternBytes(1560, 0, 3))
+        assert payloads(layer) == [1460, 100]
+
+    def test_fin_piggybacks_on_final_data_segment(self):
+        conn, layer, _ = make_conn()
+        establish(conn, wnd=0)  # hold the data until the close is queued
+        conn.app_write(PatternBytes(100, 0, 3))
+        conn.app_close()
+        assert payloads(layer) == []
+        conn.snd_wnd = 65535
+        conn.try_output()
+        last = layer.sent[-1][1]
+        assert last.flags & FLAG_FIN and last.payload_length == 100
+        assert conn.snd_nxt == conn.iss + 1 + 101  # FIN consumed one seq
+        assert conn.state is TCPState.FIN_WAIT_1
+
+    def test_zero_window_arms_persist_and_probes_one_byte(self):
+        conn, layer, clock = make_conn()
+        establish(conn, wnd=0)
+        conn.app_write(PatternBytes(500, 0, 3))
+        assert payloads(layer) == []
+        assert conn.retransmit.persist_timer.running
+        clock.advance(PERSIST_TIMEOUT_MIN + 0.001)
+        assert payloads(layer) == [1]  # the window probe
+        # Exponential probe spacing.
+        assert conn.retransmit.persist_interval == 2 * PERSIST_TIMEOUT_MIN
+
+    def test_delayed_ack_waits_then_timer_fires(self):
+        conn, layer, clock = make_conn()
+        establish(conn)
+        conn.output.schedule_ack(1)
+        assert payloads(layer) == []
+        clock.advance(conn.config.delack_timeout + 0.001)
+        assert payloads(layer) == [0]  # the delayed pure ACK
+
+    def test_delayed_ack_second_segment_forces_immediate_ack(self):
+        conn, layer, _ = make_conn()
+        establish(conn)
+        conn.output.schedule_ack(1)
+        conn.output.schedule_ack(1)
+        assert payloads(layer) == [0]
+        assert not conn.output.delack_timer.running
+
+
+# -- retransmit engine: RFC 6298 bounds ---------------------------------------
+class TestRetransmitBackoff:
+    def test_backoff_doubles_from_the_clamped_floor(self):
+        conn, layer, clock = make_conn()
+        establish(conn)
+        # A LAN-fast sample pins the base RTO at the 200 ms floor.
+        conn.retransmit.rtt.on_measurement(0.001)
+        assert conn.retransmit.rtt.rto == pytest.approx(conn.config.rto_min)
+        conn.app_write(PatternBytes(1460, 0, 3))
+        fire_times = []
+        deadline = conn.retransmit.rto_timer.deadline
+        for _ in range(4):
+            clock.advance(deadline - clock.now + 1e-9)
+            fire_times.append(clock.now)
+            deadline = conn.retransmit.rto_timer.deadline
+        gaps = [b - a for a, b in zip(fire_times, fire_times[1:])]
+        # 200 ms, 400 ms, 800 ms: the paper's §6.2 client-side progression.
+        assert gaps == pytest.approx([0.4, 0.8, 1.6], rel=1e-6)
+        assert conn.retransmissions == 4
+        # Karn: the timed range was abandoned on the first timeout.
+        assert conn.retransmit.timing is None
+
+    def test_rto_clamped_to_min_and_max(self):
+        conn, _, _ = make_conn()
+        rtt = conn.retransmit.rtt
+        rtt.on_measurement(0.0001)
+        assert rtt.rto == conn.config.rto_min
+        for _ in range(64):
+            rtt.on_timeout()
+        assert rtt.rto == conn.config.rto_max
+
+    def test_retransmission_resends_head_not_tail(self):
+        conn, layer, clock = make_conn()
+        establish(conn)
+        conn.app_write(PatternBytes(2920, 0, 3))
+        assert payloads(layer) == [1460, 1460]
+        clock.advance(conn.retransmit.rtt.rto + 0.001)
+        _t, head = layer.sent[-1]
+        assert head.seq == wrap(conn.snd_una)
+        assert head.payload_length == 1460
+        assert conn.retransmit.recovery_point == conn.snd_max
+
+    def test_too_many_retransmissions_time_out_the_connection(self):
+        conn, _, clock = make_conn(max_retransmits=2, rto_max=0.4)
+        establish(conn)
+        conn.app_write(PatternBytes(100, 0, 3))
+        clock.advance(60.0)
+        assert conn.state is TCPState.CLOSED
+        assert isinstance(conn.error, ConnectionTimeout)
+
+    def test_force_go_back_n_restarts_from_head(self):
+        conn, layer, _ = make_conn()
+        establish(conn)
+        conn.app_write(PatternBytes(2920, 0, 3))
+        sent_before = len(layer.sent)
+        conn.retransmit.force_go_back_n()
+        _t, head = layer.sent[sent_before]
+        assert head.seq == wrap(conn.snd_una)
+        assert conn.retransmit.recovery_point == conn.snd_max
+        assert conn.retransmit.rto_timer.running
+
+
+# -- buffer manager: sequence-space translation across the wrap ---------------
+class TestBufferSeqspaceWrap:
+    WRAP_ISS = 2**32 - 5  # the first data bytes straddle the 2^32 boundary
+
+    def test_offset_seq_roundtrip_across_wrap(self):
+        conn, _, _ = make_conn()
+        establish(conn, iss=self.WRAP_ISS)
+        for offset in (0, 3, 4, 5, 1000):
+            seq_abs = conn.buffers.snd_seq(offset)
+            assert conn.buffers.snd_offset(seq_abs) == offset
+        # Offset 4 is absolute seq 2^32 exactly: past the wire wrap.
+        assert conn.buffers.snd_seq(4) == 2**32
+        assert wrap(conn.buffers.snd_seq(4)) == 0
+
+    def test_wire_sequence_numbers_wrap_mid_transfer(self):
+        conn, layer, _ = make_conn()
+        establish(conn, iss=self.WRAP_ISS)
+        conn.app_write(PatternBytes(2920, 0, 3))
+        first, second = (seg for _t, seg in layer.sent)
+        assert first.seq == wrap(self.WRAP_ISS + 1) == 2**32 - 4
+        assert second.seq == wrap(self.WRAP_ISS + 1 + 1460) == 1456
+        # Cumulative ACK for everything lands cleanly across the wrap.
+        conn.on_segment(ack_from_peer(conn, self.WRAP_ISS + 1 + 2920))
+        assert conn.snd_una == conn.snd_max == self.WRAP_ISS + 1 + 2920
+        assert conn.flight_size == 0
+
+    def test_inject_receive_data_across_wrap(self):
+        conn, _, _ = make_conn()
+        establish(conn, irs=2**32 - 3)
+        advanced = conn.inject_receive_data(conn.irs + 1, PatternBytes(10, 0, 3))
+        assert advanced == 10
+        assert conn.rcv_nxt == conn.irs + 11
+        assert conn.readable_bytes == 10
+        # A gap stalls rcv_nxt; filling it drains the stash.
+        assert conn.inject_receive_data(conn.irs + 16, PatternBytes(5, 15, 3)) == 0
+        assert conn.rcv_nxt == conn.irs + 11
+        assert conn.inject_receive_data(conn.irs + 11, PatternBytes(5, 10, 3)) == 10
+        assert conn.rcv_nxt == conn.irs + 21
+
+
+# -- extension dispatch contracts ---------------------------------------------
+class _Recorder(TCPExtension):
+    name = "test.recorder"
+
+    def __init__(self, log, tag):
+        self.log = log
+        self.tag = tag
+
+    def on_segment_in(self, conn, segment):
+        self.log.append((self.tag, "in"))
+        return False
+
+    def on_ack(self, conn, segment, ack_abs):
+        self.log.append((self.tag, "ack", ack_abs))
+        return ack_abs
+
+    def filter_transmit(self, conn, segment):
+        self.log.append((self.tag, "tx"))
+        return True
+
+
+class TestExtensionDispatch:
+    def test_overridden_hooks_reports_only_overrides(self):
+        class AckOnly(TCPExtension):
+            def on_ack(self, conn, segment, ack_abs):
+                return ack_abs
+
+        assert overridden_hooks(AckOnly()) == ("on_ack",)
+        assert overridden_hooks(TCPExtension()) == ()
+
+    def test_chains_rebuilt_on_add_and_remove(self):
+        conn, _, _ = make_conn()
+        establish(conn)
+        ext = _Recorder([], "a")
+        conn.add_extension(ext)
+        assert conn._ext_on_segment_in == (ext,)
+        assert conn._ext_filter_transmit == (ext,)
+        assert conn._ext_on_state_change == ()  # not overridden
+        conn.remove_extension(ext)
+        assert conn._ext_on_segment_in == ()
+        assert conn.extensions == ()
+
+    def test_all_extensions_see_a_consumed_segment(self):
+        log = []
+
+        class Consumer(_Recorder):
+            def on_segment_in(self, conn, segment):
+                log.append((self.tag, "in"))
+                return True
+
+        conn, _, _ = make_conn()
+        establish(conn)
+        conn.add_extension(Consumer(log, "eat"))
+        conn.add_extension(_Recorder(log, "see"))
+        data = TCPSegment(
+            conn.remote_port,
+            conn.local_port,
+            wrap(conn.rcv_nxt),
+            wrap(conn.snd_una),
+            FLAG_ACK,
+            65535,
+            PatternBytes(100, 0, 3),
+        )
+        conn.on_segment(data)
+        assert ("eat", "in") in log and ("see", "in") in log
+        # Consumed: core processing skipped, nothing buffered.
+        assert conn.readable_bytes == 0
+        assert conn.rcv_nxt == conn.irs + 1
+
+    def test_first_transmit_veto_short_circuits(self):
+        log = []
+
+        class Veto(_Recorder):
+            def filter_transmit(self, conn, segment):
+                log.append((self.tag, "tx"))
+                return False
+
+        conn, layer, _ = make_conn()
+        establish(conn)
+        conn.add_extension(Veto(log, "veto"))
+        conn.add_extension(_Recorder(log, "after"))
+        conn.app_write(PatternBytes(100, 0, 3))
+        assert layer.sent == []
+        assert ("veto", "tx") in log
+        assert ("after", "tx") not in log  # never consulted past the veto
+
+    def test_on_ack_chain_runs_in_registration_order(self):
+        log = []
+        conn, _, _ = make_conn()
+        establish(conn)
+        conn.add_extension(_Recorder(log, "first"))
+        conn.add_extension(_Recorder(log, "second"))
+        conn.app_write(PatternBytes(100, 0, 3))
+        log.clear()
+        conn.on_segment(ack_from_peer(conn, conn.iss + 101))
+        acks = [entry for entry in log if entry[1] == "ack"]
+        assert [entry[0] for entry in acks] == ["first", "second"]
+
+    def test_add_extension_index_controls_order(self):
+        conn, _, _ = make_conn()
+        first, second = _Recorder([], "a"), _Recorder([], "b")
+        conn.add_extension(first)
+        conn.add_extension(second, index=0)
+        assert conn.extensions == (second, first)
