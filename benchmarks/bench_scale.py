@@ -1,0 +1,40 @@
+"""Connection-churn throughput: one mid-size rung of the scale ladder.
+
+Guards the complexity contract of the indexed backup bookkeeping
+(docs/SCALE.md): per-segment work on the backup is O(changed state), so
+events/sec must not collapse as the connection count grows.  CI runs
+this with ``--benchmark-json`` and gates both the simulator throughput
+(``events_per_sec``) and the workload-level open rate
+(``connections_per_sec``) via ``check_perf_regression.py``.
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiments import scale_ladder
+
+#: Simultaneous connections for the benchmark rung — big enough that a
+#: linear-scan regression on the backup's per-segment path is visible,
+#: small enough for CI.
+RUNG = 500
+
+
+def test_churn_rung_500(benchmark):
+    def run():
+        # No store: a cached cell would measure a dict lookup, not a rung.
+        return scale_ladder(ladder=(RUNG,), store=None)[0]
+
+    record = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert record["verified"], record["failures"]
+    assert record["degraded"] == 0
+    assert record["leftover_shadows"] == 0
+    assert record["leftover_backup_tcbs"] == 0
+    mean = benchmark.stats.stats.mean
+    print(
+        f"\nchurn rung {RUNG}: {record['sim_events']} events, "
+        f"{record['total_opens']} opens, "
+        f"{record['sim_events'] / mean:,.0f} events/s, "
+        f"{record['total_opens'] / mean:,.0f} conns/s"
+    )
+    benchmark.extra_info["events"] = record["sim_events"]
+    benchmark.extra_info["events_per_sec"] = round(record["sim_events"] / mean)
+    benchmark.extra_info["connections_per_sec"] = round(record["total_opens"] / mean)

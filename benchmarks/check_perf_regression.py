@@ -29,14 +29,28 @@ DEFAULT_BASELINE = Path(__file__).parent / "BENCH_baseline.json"
 DEFAULT_TOLERANCE = 0.20
 
 
+#: Gated ``extra_info`` metrics.  ``events_per_sec`` keeps the bare
+#: benchmark name (the historical key shape); further metrics get a
+#: ``name[metric]`` key so one benchmark can gate several rates —
+#: ``bench_scale.py`` gates both simulator and connection throughput.
+METRICS = ("events_per_sec", "connections_per_sec")
+
+
 def load_throughputs(bench_json: Path) -> dict:
-    """``{benchmark name: events_per_sec}`` from a pytest-benchmark JSON."""
+    """``{benchmark name[metric]: rate}`` from a pytest-benchmark JSON."""
     data = json.loads(bench_json.read_text())
     throughputs = {}
     for bench in data.get("benchmarks", []):
-        events_per_sec = bench.get("extra_info", {}).get("events_per_sec")
-        if events_per_sec is not None:
-            throughputs[bench["name"]] = float(events_per_sec)
+        extra = bench.get("extra_info", {})
+        for metric in METRICS:
+            value = extra.get(metric)
+            if value is not None:
+                key = (
+                    bench["name"]
+                    if metric == "events_per_sec"
+                    else f"{bench['name']}[{metric}]"
+                )
+                throughputs[key] = float(value)
     return throughputs
 
 

@@ -40,6 +40,17 @@ class PortInUseError(NetworkError):
     """A transport port was already bound on the host."""
 
 
+class EphemeralPortsExhausted(PortInUseError):
+    """No ephemeral port can reach the requested remote endpoint.
+
+    Raised by the TCP layer's ephemeral-port pool when every port in the
+    dynamic range already carries a live connection to the same remote
+    (IP, port).  A subclass of :class:`PortInUseError` so existing
+    callers that treat port exhaustion as "port trouble" keep working,
+    while connection-churn workloads can tell the two apart.
+    """
+
+
 class ConnectionError_(NetworkError):
     """Base class for transport-level connection failures.
 

@@ -31,11 +31,14 @@ from typing import Any, Dict, List, Optional
 
 from repro.harness.executor import ExperimentResult, run_experiment
 from repro.harness.experiments import (
+    DEFAULT_LADDER,
     PAPER_SCALE,
     QUICK_SCALE,
+    SMOKE_LADDER,
     default_scale,
     format_figure5,
     format_figure6,
+    format_scale,
     format_table1,
     format_table2,
 )
@@ -176,6 +179,33 @@ def _cmd_ablations(args: argparse.Namespace) -> int:
         all_records.extend(records)
     _export(all_records, args)
     return 0
+
+
+def _cmd_scale(args: argparse.Namespace) -> int:
+    """Connection-churn ladder: rungs of simultaneous ST-TCP connections
+    with a mid-ladder primary crash (docs/SCALE.md)."""
+    if args.rungs:
+        ladder = tuple(int(rung) for rung in args.rungs.split(","))
+    elif getattr(args, "quick", False):
+        ladder = SMOKE_LADDER
+    else:
+        ladder = DEFAULT_LADDER
+    records = _run(
+        "scale",
+        args,
+        ladder=ladder,
+        topology=args.topology,
+        base_seed=args.seed,
+    ).rows
+    print(format_scale(records))
+    _export(records, args)
+    clean = all(
+        record["verified"]
+        and not record["degraded"]
+        and record["leftover_shadows"] == 0
+        for record in records
+    )
+    return 0 if clean else 1
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -352,6 +382,20 @@ def build_parser() -> argparse.ArgumentParser:
         a for a in sub.choices.values() if a.prog.endswith("figure5")
     )
     figure5_parser.add_argument("--app", choices=["echo", "interactive"], default="echo")
+
+    scale = sub.add_parser(
+        "scale",
+        help="connection-churn ladder with failover at each rung (docs/SCALE.md)",
+    )
+    common(scale)
+    scale.add_argument(
+        "--rungs",
+        metavar="N,N,...",
+        help="comma-separated ladder of simultaneous connections "
+        f"(default {','.join(map(str, DEFAULT_LADDER))}; "
+        f"--quick uses {','.join(map(str, SMOKE_LADDER))})",
+    )
+    scale.set_defaults(fn=_cmd_scale)
 
     trace = sub.add_parser(
         "trace", help="a traced failover: client tcpdump or Chrome trace export"

@@ -11,6 +11,12 @@ from repro.harness.experiments.ablation_ftcp import ablation_ftcp
 from repro.harness.experiments.ablation_logger import ablation_logger
 from repro.harness.experiments.ablation_overhead import ablation_overhead
 from repro.harness.experiments.ablation_sync import ablation_sync
+from repro.harness.experiments.churn import (
+    DEFAULT_LADDER,
+    SMOKE_LADDER,
+    format_scale,
+    scale_ladder,
+)
 from repro.harness.experiments.figure5 import figure5, format_figure5
 from repro.harness.experiments.figure6 import figure6, format_figure6
 from repro.harness.experiments.scale import (
@@ -27,10 +33,12 @@ from repro.harness.experiments.table2 import format_table2, table2
 from repro.harness.spec import experiment_names, get_spec
 
 __all__ = [
+    "DEFAULT_LADDER",
     "FIGURE_HB_SWEEP",
     "PAPER_HB_GRID",
     "PAPER_SCALE",
     "QUICK_SCALE",
+    "SMOKE_LADDER",
     "ExperimentScale",
     "ablation_detection",
     "ablation_ftcp",
@@ -43,10 +51,12 @@ __all__ = [
     "figure6",
     "format_figure5",
     "format_figure6",
+    "format_scale",
     "format_table1",
     "format_table2",
     "get_spec",
     "hb_label",
+    "scale_ladder",
     "table1",
     "table2",
 ]

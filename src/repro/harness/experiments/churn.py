@@ -1,0 +1,425 @@
+"""The ``scale`` experiment: connection churn on one primary/backup pair.
+
+Every paper artefact drives a handful of connections; the claim that a
+backup can shadow a primary *closely enough to take over* only matters
+under load.  This workload fills that gap (ROADMAP: "Massive-concurrency
+failover"): a **concurrency ladder** where each rung
+
+1. ramps up ``connections`` simultaneous long-lived ST-TCP connections
+   (*holders*) while *churners* storm the listener with extra short
+   open/flow/close cycles, flow sizes drawn from a heavy-tailed
+   (Pareto) distribution;
+2. waits for every shadow to converge on the primary's ISN and samples
+   the backup's per-TCB memory footprint;
+3. crashes the primary and measures detection/takeover latency with all
+   rung connections simultaneously alive;
+4. continues every holder over the taken-over connections (content
+   verified end-to-end), drains, and checks that the churned TCBs were
+   actually reaped — on the client, on the backup's TCP layer, and in
+   the backup engine's shadow table.
+
+Per rung the record reports takeover latency, shadow-convergence lag,
+opened connections/sec, sampled bytes/TCB, peak TCB counts, and the
+reap accounting — the scale story of docs/SCALE.md.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+from collections import deque
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.apps.protocol import KIND_DATA, encode_request, verify_response
+from repro.errors import ConnectionRefused
+from repro.harness.calibrate import FAST_LAN, NetworkProfile
+from repro.harness.executor import run_experiment
+from repro.harness.results import ResultStore
+from repro.harness.scenario import Scenario
+from repro.harness.spec import (
+    ExperimentSpec,
+    GridCell,
+    Record,
+    profile_from_params,
+    profile_params,
+    register,
+    sttcp_from_params,
+    sttcp_params,
+)
+from repro.harness.tables import format_table
+from repro.metrics import perf
+from repro.sttcp.config import STTCPConfig
+
+#: Read granularity for flow responses.
+RECV_CHUNK = 65536
+
+#: The client starts this long after the service comes up.
+CLIENT_START = 0.05
+
+#: Size of the post-takeover continuity flow every holder runs.
+POST_TAKEOVER_FLOW = 1024
+
+#: Default concurrency ladder; the top rung is the acceptance bar
+#: (≥ 2,000 simultaneous ST-TCP connections on one pair).
+DEFAULT_LADDER: Tuple[int, ...] = (100, 500, 2000)
+
+#: Small ladder for CI smoke runs (seconds, not minutes).
+SMOKE_LADDER: Tuple[int, ...] = (25, 100)
+
+
+# ------------------------------------------------------------ memory probe
+#: Attribute names that escape the per-connection object graph; following
+#: them would charge the whole simulator to one TCB.
+_ESCAPE_ATTRS = frozenset({"sim", "layer", "host", "conn", "tcb", "socket"})
+
+_FLAT_TYPES = (str, bytes, bytearray, int, float, bool, complex)
+
+
+def deep_size(root: Any) -> int:
+    """Deterministic footprint of one connection's object graph in bytes.
+
+    Walks ``__slots__``/``__dict__`` via :func:`sys.getsizeof`, stopping
+    at the attributes that point back into the simulator.  Not an exact
+    RSS figure — a *comparable* per-TCB cost that scales with buffered
+    data, so the per-rung trend (bytes/TCB vs connection count) is
+    meaningful and machine-stable.
+    """
+    seen: set = set()
+    stack: List[Any] = [root]
+    total = 0
+    while stack:
+        obj = stack.pop()
+        if obj is None or callable(obj) or isinstance(obj, type):
+            continue
+        if id(obj) in seen:
+            continue
+        seen.add(id(obj))
+        try:
+            total += sys.getsizeof(obj)
+        except TypeError:  # pragma: no cover - exotic objects only
+            continue
+        if isinstance(obj, _FLAT_TYPES):
+            continue
+        if isinstance(obj, dict):
+            stack.extend(obj.keys())
+            stack.extend(obj.values())
+        elif isinstance(obj, (list, tuple, set, frozenset, deque)):
+            stack.extend(obj)
+        else:
+            names: List[str] = []
+            for klass in type(obj).__mro__:
+                names.extend(getattr(klass, "__slots__", ()))
+            instance_dict = getattr(obj, "__dict__", None)
+            if instance_dict is not None:
+                names.extend(instance_dict)
+            for name in names:
+                if name in _ESCAPE_ATTRS or name.startswith("__"):
+                    continue
+                stack.append(getattr(obj, name, None))
+    return total
+
+
+# ------------------------------------------------------------ grid builder
+def _heavy_tailed_sizes(
+    rng: random.Random, count: int, base: int, cap: int, alpha: float
+) -> List[int]:
+    """Pareto-distributed flow sizes: many small flows, a fat tail."""
+    return [min(cap, int(base * rng.paretovariate(alpha))) for _ in range(count)]
+
+
+def _build_cells(
+    scale: Any = None,
+    ladder: Optional[Sequence[int]] = None,
+    churn_fraction: float = 0.25,
+    churn_flows: int = 3,
+    flow_base: int = 512,
+    flow_cap: int = 64 * 1024,
+    pareto_alpha: float = 1.3,
+    open_rate: float = 2000.0,
+    hb: float = 0.1,
+    profile: NetworkProfile = FAST_LAN,
+    topology: str = "hub",
+    base_seed: int = 900,
+) -> List[GridCell]:
+    rungs = tuple(ladder) if ladder is not None else DEFAULT_LADDER
+    return [
+        GridCell(
+            experiment="scale",
+            cell_id=f"conns{connections}",
+            params={
+                "connections": connections,
+                "churn_fraction": churn_fraction,
+                "churn_flows": churn_flows,
+                "flow_base": flow_base,
+                "flow_cap": flow_cap,
+                "pareto_alpha": pareto_alpha,
+                "open_rate": open_rate,
+                "sttcp": sttcp_params(STTCPConfig(hb_interval=hb)),
+                "profile": profile_params(profile),
+                "topology": topology,
+            },
+            seed=base_seed + index,
+        )
+        for index, connections in enumerate(rungs)
+    ]
+
+
+#: Connect attempts before a client gives up on a refused service.
+CONNECT_RETRIES = 8
+
+
+# ------------------------------------------------------------ rung runner
+def _connect_with_retry(sim: Any, host: Any, addr: Any) -> Generator:
+    """Active open with backoff-and-retry on a full listener backlog.
+
+    During an open storm the listener legitimately deflects SYNs
+    (:attr:`TCPLayer.syns_deflected`); a real client sees ECONNREFUSED
+    and tries again.  Deterministic: fixed exponential backoff.
+    """
+    delay = 0.01
+    for attempt in range(CONNECT_RETRIES):
+        sock = host.tcp.connect(addr)
+        try:
+            yield sock.wait_connected()
+            return sock
+        except ConnectionRefused:
+            if attempt == CONNECT_RETRIES - 1:
+                raise
+            yield sim.timeout(delay)
+            delay = min(0.16, delay * 2)
+    raise AssertionError("unreachable")
+
+
+def _flow(sock: Any, request_id: int, size: int, stream_offset: int) -> Generator:
+    """Issue one DATA request and verify the sized response; returns
+    (ok, new_stream_offset)."""
+    yield sock.send(encode_request(KIND_DATA, size, request_id))
+    ok = True
+    remaining = size
+    while remaining > 0:
+        chunk = yield sock.recv_exactly(min(RECV_CHUNK, remaining))
+        if not verify_response(chunk, stream_offset):
+            ok = False
+        stream_offset += len(chunk)
+        remaining -= len(chunk)
+    return ok, stream_offset
+
+
+def _run_cell(cell: GridCell) -> Record:
+    params = cell.params
+    n = int(params["connections"])
+    rng = random.Random(cell.seed)
+    scenario = Scenario(
+        profile=profile_from_params(params["profile"]),
+        topology=params["topology"],
+        sttcp=sttcp_from_params(params["sttcp"]),
+        seed=cell.seed,
+    )
+    sim = scenario.sim
+    scenario.start_service()
+    backup_engine = scenario.pair.backup_engine
+    backup_host = scenario.backup
+    client = scenario.client
+    service_addr = scenario.service_addr
+
+    churn_count = int(n * params["churn_fraction"])
+    churn_flows = int(params["churn_flows"])
+    holder_sizes = _heavy_tailed_sizes(
+        rng, n, params["flow_base"], params["flow_cap"], params["pareto_alpha"]
+    )
+    churn_sizes = [
+        _heavy_tailed_sizes(
+            rng, churn_flows, params["flow_base"], params["flow_cap"], params["pareto_alpha"]
+        )
+        for _ in range(churn_count)
+    ]
+    ramp = max(n, churn_count) / float(params["open_rate"])
+
+    ready = [0]  # holders whose initial flow completed
+    churners_done = [0]
+    holders_done = [0]
+    failures: List[str] = []
+    final_at: List[Optional[float]] = [None]
+
+    def holder(index: int, size: int) -> Generator:
+        yield sim.timeout((index * ramp) / max(1, n))
+        counted = False
+        try:
+            sock = yield from _connect_with_retry(sim, client, service_addr)
+            ok, offset = yield from _flow(sock, 0, size, 0)
+            if not ok:
+                failures.append(f"holder-{index}: corrupt initial flow")
+            counted = True
+            ready[0] += 1
+            # Hold the connection across the crash, then prove it still
+            # works on the taken-over endpoint.
+            while final_at[0] is None or sim.now < final_at[0]:
+                yield sim.timeout(0.025)
+            ok, _ = yield from _flow(sock, 1, POST_TAKEOVER_FLOW, offset)
+            if not ok:
+                failures.append(f"holder-{index}: corrupt post-takeover flow")
+            sock.close()
+        except Exception as exc:  # noqa: BLE001 - recorded in the rung record
+            failures.append(f"holder-{index}: {type(exc).__name__}: {exc}")
+            if not counted:
+                ready[0] += 1  # do not deadlock the ramp barrier
+        holders_done[0] += 1
+
+    def churner(index: int, sizes: List[int]) -> Generator:
+        yield sim.timeout((index * ramp) / max(1, churn_count))
+        try:
+            for flow_id, size in enumerate(sizes):
+                sock = yield from _connect_with_retry(sim, client, service_addr)
+                ok, _ = yield from _flow(sock, flow_id, size, 0)
+                if not ok:
+                    failures.append(f"churner-{index}: corrupt flow {flow_id}")
+                sock.close()
+        except Exception as exc:  # noqa: BLE001 - recorded in the rung record
+            failures.append(f"churner-{index}: {type(exc).__name__}: {exc}")
+        churners_done[0] += 1
+
+    sim.run(until=CLIENT_START)
+    for index in range(n):
+        client.spawn(holder(index, holder_sizes[index]), f"holder-{index}")
+    for index in range(churn_count):
+        client.spawn(churner(index, churn_sizes[index]), f"churner-{index}")
+
+    def run_until(predicate: Any, deadline: float, step: float) -> None:
+        while not predicate() and sim.now < deadline:
+            sim.run(until=sim.now + step)
+
+    # Phase 1: ramp — all holders connected + flowed, all churners done.
+    run_until(
+        lambda: ready[0] >= n and churners_done[0] >= churn_count,
+        deadline=CLIENT_START + ramp + 120.0,
+        step=0.005,
+    )
+    ramp_done = sim.now
+
+    # Phase 2: shadow convergence (every live shadow rebased on the
+    # primary's ISN) — the backup-side lag behind the open storm.
+    run_until(
+        lambda: backup_engine.pending_rebase_count == 0,
+        deadline=ramp_done + 30.0,
+        step=0.001,
+    )
+    convergence_lag = sim.now - ramp_done
+    shadows_at_crash = backup_engine.shadow_count
+    sample = backup_engine.shadow_connections[:32]
+    bytes_per_tcb = (
+        sum(deep_size(tcb) for tcb in sample) / len(sample) if sample else 0.0
+    )
+
+    # Phase 3: crash the primary with the full rung simultaneously alive.
+    crash_time = sim.now + 0.05
+    scenario.crash_primary_at(crash_time)
+    run_until(
+        lambda: backup_engine.takeover_time is not None,
+        deadline=crash_time + 60.0,
+        step=0.005,
+    )
+    detection_latency = (
+        backup_engine.detection_time - crash_time
+        if backup_engine.detection_time is not None
+        else float("nan")
+    )
+    takeover_latency = (
+        backup_engine.takeover_time - crash_time
+        if backup_engine.takeover_time is not None
+        else float("nan")
+    )
+
+    # Phase 4: continue every holder on the taken-over connections.
+    final_at[0] = sim.now + 0.1
+    run_until(
+        lambda: holders_done[0] >= n,
+        deadline=sim.now + 120.0,
+        step=0.01,
+    )
+    finished = sim.now
+    # Drain TIME_WAIT (1 s in the simulator) so reaping can complete.
+    sim.run(until=sim.now + 1.5)
+    perf.note_simulation(sim)
+
+    total_opens = n + churn_count * churn_flows
+    return {
+        "connections": n,
+        "total_opens": total_opens,
+        "conns_per_sec": total_opens / max(1e-9, finished - CLIENT_START),
+        "convergence_lag": convergence_lag,
+        "detection_latency": detection_latency,
+        "takeover_latency": takeover_latency,
+        "bytes_per_tcb": bytes_per_tcb,
+        "shadows_at_crash": shadows_at_crash,
+        "peak_tcbs_client": client.tcp.connection_peak,
+        "peak_tcbs_backup": backup_host.tcp.connection_peak,
+        "reaped_client": client.tcp.tcbs_reaped,
+        "reaped_backup": backup_host.tcp.tcbs_reaped,
+        "shadows_reaped": backup_engine.shadows_reaped,
+        "leftover_client_tcbs": client.tcp.connection_count,
+        "leftover_backup_tcbs": backup_host.tcp.connection_count,
+        "leftover_shadows": backup_engine.shadow_count,
+        "degraded": len(backup_engine.degraded_connections),
+        "syns_deflected": scenario.primary.tcp.syns_deflected,
+        "ports_exhausted": client.tcp.ephemeral_ports_exhausted,
+        "sim_events": sim.events_executed,
+        "sim_seconds": sim.now,
+        "verified": not failures,
+        "failures": failures[:10],
+    }
+
+
+# ------------------------------------------------------------ presentation
+def format_scale(records: List[Dict[str, Any]]) -> str:
+    rows = [
+        [
+            r["connections"],
+            f"{r['conns_per_sec']:.0f}",
+            f"{r['convergence_lag'] * 1e3:.1f}",
+            f"{r['detection_latency'] * 1e3:.1f}",
+            f"{r['takeover_latency'] * 1e3:.1f}",
+            f"{r['bytes_per_tcb'] / 1024:.1f}",
+            r["peak_tcbs_backup"],
+            r["shadows_reaped"],
+            r["leftover_shadows"],
+            "ok" if r["verified"] and not r["degraded"] else "FAILED",
+        ]
+        for r in records
+    ]
+    return format_table(
+        [
+            "conns",
+            "opens/s",
+            "converge (ms)",
+            "detect (ms)",
+            "takeover (ms)",
+            "KB/TCB",
+            "peak TCBs",
+            "reaped",
+            "leftover",
+            "status",
+        ],
+        rows,
+        title="scale: churn ladder on one primary/backup pair",
+    )
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="scale",
+        title="scale: connection-churn ladder with mid-ladder failover",
+        build_cells=_build_cells,
+        run_cell=_run_cell,
+        format=format_scale,
+    )
+)
+
+
+def scale_ladder(
+    ladder: Optional[Sequence[int]] = None,
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    **options: Any,
+) -> List[Dict[str, Any]]:
+    """Run the churn ladder; one record per rung (see module docstring)."""
+    return run_experiment("scale", ladder=ladder, jobs=jobs, store=store, **options).rows

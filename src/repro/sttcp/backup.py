@@ -23,6 +23,7 @@ from repro.net.addresses import IPAddress
 from repro.net.nic import NIC
 from repro.sttcp.config import STTCPConfig
 from repro.sttcp.failure_detector import HeartbeatMonitor
+from repro.sttcp.indexes import BackupConnectionIndex
 from repro.sttcp.messages import (
     BackupAck,
     ChannelMessage,
@@ -50,6 +51,9 @@ class _ShadowConnState:
     __slots__ = (
         "tcb",
         "ext",
+        "key",
+        "closed",
+        "converged",
         "last_acked_offset",
         "last_ack_time",
         "pending_retx",
@@ -61,6 +65,9 @@ class _ShadowConnState:
     def __init__(self, tcb: TCPConnection, ext: ShadowExtension, now: float) -> None:
         self.tcb = tcb
         self.ext = ext
+        self.key: ConnKey = conn_key(tcb.remote_ip, tcb.remote_port)
+        self.closed = False  # reaped; invalidates lazy index entries
+        self.converged = False  # rebased + synchronized at least once
         self.last_acked_offset = 0  # LastByteAcked (as a stream offset)
         self.last_ack_time = now
         self.pending_retx: Optional[tuple] = None  # (start_abs, stop_abs, at)
@@ -108,12 +115,17 @@ class STTCPBackup:
         self.takeover_time: Optional[float] = None
         self.degraded_connections: List[ConnKey] = []
         self._connections: Dict[ConnKey, _ShadowConnState] = {}
+        #: Incrementally maintained views (ack schedule, gaps, pending
+        #: rebase, outstanding recovery) — the per-event paths below never
+        #: walk ``_connections``; only takeover-time code does.
+        self._index = BackupConnectionIndex()
         self._hb_sequence = 0
         self._started = False
         # Backups answer nothing on their own: no RSTs for unmatched
         # tapped segments, no ARP for the (suppressed) service IP.
         host.tcp.reset_on_unmatched = False
         host.tcp.connection_observers.append(self._on_passive_open)
+        host.tcp.close_observers.append(self._on_shadow_closed)
         host.ip_layer.add_tap(self._on_tapped_datagram)
         self.channel = host.udp.socket(self.config.channel_port)
         host._sttcp_channel_socket = self.channel
@@ -134,6 +146,9 @@ class STTCPBackup:
         self._c_retx_requests_sent = metrics.counter("retx_requests_sent")
         self._c_retx_bytes_recovered = metrics.counter("retx_bytes_recovered")
         self._c_logger_bytes_recovered = metrics.counter("logger_bytes_recovered")
+        self._c_shadows_reaped = metrics.counter("shadows_reaped")
+        self._g_shadows = metrics.gauge("shadows")
+        self._g_pending_rebase = metrics.gauge("shadows_pending_rebase")
         #: Open takeover-episode span id (suspicion → active role).
         self._takeover_sid: Optional[int] = None
 
@@ -152,6 +167,23 @@ class STTCPBackup:
     @property
     def logger_bytes_recovered(self) -> int:
         return self._c_logger_bytes_recovered.value
+
+    @property
+    def shadow_count(self) -> int:
+        return len(self._connections)
+
+    @property
+    def shadows_reaped(self) -> int:
+        return self._c_shadows_reaped.value
+
+    @property
+    def pending_rebase_count(self) -> int:
+        """Shadows not yet re-anchored on the primary's ISN (§4.1) — the
+        backup's convergence lag, as a count."""
+        return self._index.pending_rebase_count()
+
+    def index_sizes(self) -> Dict[str, int]:
+        return self._index.sizes()
 
     # Lifecycle -------------------------------------------------------------------
     def start(self) -> None:
@@ -180,7 +212,10 @@ class STTCPBackup:
         ext = ShadowExtension()
         tcb.add_extension(ext)
         state = _ShadowConnState(tcb, ext, self.sim.now)
-        self._connections[conn_key(tcb.remote_ip, tcb.remote_port)] = state
+        self._connections[state.key] = state
+        self._index.add(state)
+        self._g_shadows.value = len(self._connections)
+        self._g_pending_rebase.value = self._index.pending_rebase_count()
         tcb.on_rcv_advance = lambda _rcv, s=state: self._on_stream_advance(s)
         if self.sim.trace.enabled_for("sttcp"):
             self.sim.trace.emit(
@@ -204,6 +239,29 @@ class STTCPBackup:
     def connection_state(self, key: ConnKey) -> Optional[_ShadowConnState]:
         return self._connections.get(key)
 
+    def _on_shadow_closed(self, tcb: TCPConnection) -> None:
+        """Close observer: the TCP layer reaped a TCB; drop our shadow
+        state too so churning clients don't accumulate dead bookkeeping."""
+        state = self._connections.get(conn_key(tcb.remote_ip, tcb.remote_port))
+        if state is None or state.tcb is not tcb:
+            return
+        if state.convergence_sid is not None:
+            self.sim.trace.end_span(
+                self.sim.now,
+                "sttcp",
+                "shadow_convergence",
+                state.convergence_sid,
+                outcome="closed",
+            )
+            state.convergence_sid = None
+        state.closed = True
+        del self._connections[state.key]
+        self._index.discard(state)
+        tcb.on_rcv_advance = None
+        self._c_shadows_reaped.value += 1
+        self._g_shadows.value = len(self._connections)
+        self._g_pending_rebase.value = self._index.pending_rebase_count()
+
     # Acknowledgment strategy (§4.3) ---------------------------------------------------
     def _ack_threshold(self, tcb: TCPConnection) -> int:
         second_buffer = self.config.second_buffer_size or tcb.config.rcv_buffer
@@ -213,11 +271,10 @@ class STTCPBackup:
         if self.role is not ROLE_PASSIVE:
             return
         tcb = state.tcb
-        if state.convergence_sid is not None and state.ext.isn_rebased and tcb.is_synchronized:
-            self.sim.trace.end_span(
-                self.sim.now, "sttcp", "shadow_convergence", state.convergence_sid
-            )
-            state.convergence_sid = None
+        if not state.converged and state.ext.isn_rebased and tcb.is_synchronized:
+            self._note_converged(state)
+        # The local stream moved: it may have caught up with the primary.
+        self._index.reconcile_gap(state)
         received = tcb.recv_buffer.rcv_nxt_offset - state.last_acked_offset
         if received >= self._ack_threshold(tcb):
             self._send_backup_ack(state)
@@ -226,26 +283,47 @@ class STTCPBackup:
             _, stop_abs, _ = state.pending_retx
             if tcb.rcv_nxt >= stop_abs:
                 state.pending_retx = None
+                self._index.clear_retx_pending(state)
+
+    def _note_converged(self, state: _ShadowConnState) -> None:
+        """The shadow is ESTABLISHED on the primary's ISN: discharge it
+        from the pending-rebase index and close the convergence span."""
+        state.converged = True
+        self._index.note_rebased(state)
+        self._g_pending_rebase.value = self._index.pending_rebase_count()
+        if state.convergence_sid is not None:
+            self.sim.trace.end_span(
+                self.sim.now, "sttcp", "shadow_convergence", state.convergence_sid
+            )
+            state.convergence_sid = None
 
     def _on_sync_tick(self) -> None:
-        """SyncTime expiry: ack every connection regardless of progress."""
+        """SyncTime expiry: ack every *due* connection.
+
+        The ack-schedule index pops exactly the connections whose
+        SyncTime elapsed since their last BackupAck, so an idle tick over
+        N shadows is O(due + expired recovery requests), not O(N).
+        """
         if not self._started or self.role is not ROLE_PASSIVE or not self.host.is_up:
             return
         sync_time = self.config.effective_sync_time()
         now = self.sim.now
-        for state in self._connections.values():
-            if now - state.last_ack_time >= sync_time and state.tcb.is_synchronized:
-                self._send_backup_ack(state)
+        for state in self._index.ack_due(now, sync_time):
+            if state.tcb.is_synchronized:
+                self._send_backup_ack(state)  # re-enqueues via note_acked
+            else:
+                self._index.requeue_unready(state)
+        for state in self._index.retx_pending_states():
             self._maybe_reissue_retx(state)
         self._sync_timer.start(sync_time)
 
     def _send_backup_ack(self, state: _ShadowConnState) -> None:
         tcb = state.tcb
-        key = conn_key(tcb.remote_ip, tcb.remote_port)
         self._c_acks_sent.value += 1
-        self._send(BackupAck(key, wrap(tcb.rcv_nxt)))
+        self._send(BackupAck(state.key, wrap(tcb.rcv_nxt)))
         state.last_acked_offset = tcb.recv_buffer.rcv_nxt_offset
         state.last_ack_time = self.sim.now
+        self._index.note_acked(state)
 
     def _send_heartbeat(self) -> None:
         if not self._started or self.role is not ROLE_PASSIVE or not self.host.is_up:
@@ -289,6 +367,7 @@ class STTCPBackup:
             if primary_rcv > tcb.rcv_nxt:
                 # The primary holds client bytes we never tapped; the
                 # client has purged them, so only the primary can help.
+                self._index.note_gap(state)
                 self._request_retransmission(state, tcb.rcv_nxt, primary_rcv)
         if segment.payload_length > 0 and state.ext.isn_rebased:
             seg_end = unwrap(segment.seq, tcb.snd_nxt) + segment.payload_length
@@ -332,10 +411,10 @@ class STTCPBackup:
                     return  # fully covered by the request in flight
                 # Only the new tail needs asking for.
                 start_abs = max(start_abs, pending_stop)
-        key = conn_key(state.tcb.remote_ip, state.tcb.remote_port)
         self._c_retx_requests_sent.value += 1
-        self._send(RetxRequest(key, wrap(start_abs), wrap(stop_abs)))
+        self._send(RetxRequest(state.key, wrap(start_abs), wrap(stop_abs)))
         state.pending_retx = (start_abs, stop_abs, self.sim.now)
+        self._index.note_retx_pending(state)
 
     def _maybe_reissue_retx(self, state: _ShadowConnState) -> None:
         if state.pending_retx is None:
@@ -343,6 +422,7 @@ class STTCPBackup:
         start_abs, stop_abs, requested_at = state.pending_retx
         if state.tcb.rcv_nxt >= stop_abs:
             state.pending_retx = None
+            self._index.clear_retx_pending(state)
             return
         if self.sim.now - requested_at >= self.config.retx_request_timeout:
             state.pending_retx = None
@@ -404,6 +484,7 @@ class STTCPBackup:
         self._c_retx_bytes_recovered.value += len(data.payload)
         if state.pending_retx is not None and state.tcb.rcv_nxt >= state.pending_retx[1]:
             state.pending_retx = None
+            self._index.clear_retx_pending(state)
 
     def _inject_payload(self, tcb: TCPConnection, seq_abs: int, payload: Any) -> None:
         """Feed recovered client bytes into the shadow's receive stream.
@@ -464,7 +545,10 @@ class STTCPBackup:
             self._complete_takeover()
             return
         queries = []
-        for key, state in self._connections.items():
+        # Takeover-time one-shot walk: every synchronized connection must
+        # be queried, so O(all) is inherent here (unlike the per-segment
+        # and per-tick paths, which go through the indexes).
+        for key, state in list(self._connections.items()):
             if state.tcb.is_synchronized:
                 start = wrap(state.tcb.rcv_nxt)
                 queries.append((key, start, start))  # start == stop: to end
@@ -475,14 +559,14 @@ class STTCPBackup:
         )
 
     def _find_gaps(self) -> List[tuple]:
-        """Ranges the primary had received that this backup still lacks."""
-        gaps = []
-        for key, state in self._connections.items():
-            tcb = state.tcb
-            target = state.primary_rcv_nxt
-            if target is not None and target > tcb.rcv_nxt:
-                gaps.append((key, tcb.rcv_nxt, target))
-        return gaps
+        """Ranges the primary had received that this backup still lacks.
+
+        Reads the gap index maintained from the tapped ACK stream instead
+        of re-deriving gaps from a scan of every connection; the
+        hypothesis test in ``tests/sttcp/test_scale_indexes.py`` checks
+        this against the brute-force oracle.
+        """
+        return self._index.gaps()
 
     def _on_logger_data(self, key: ConnKey, seq32: int, payload: Any) -> None:
         state = self._connections.get(key)
@@ -492,10 +576,10 @@ class STTCPBackup:
             self._c_logger_bytes_recovered.value += len(payload)
 
     def _on_logger_done(self) -> None:
-        for key, _start, stop in self._find_gaps():
-            # Whatever the logger could not repair stays degraded.
-            if self._connections[key].tcb.rcv_nxt < stop:
-                self.degraded_connections.append(key)
+        # _find_gaps only reports ranges still missing, i.e. whatever the
+        # logger could not repair: those connections stay degraded.
+        for key, _start, _stop in self._find_gaps():
+            self.degraded_connections.append(key)
         self._complete_takeover()
 
     def _complete_takeover(self) -> None:
@@ -507,14 +591,18 @@ class STTCPBackup:
         self.host.tcp.reset_on_unmatched = True
         self._sync_timer.stop()
         self._hb_timer.stop()
-        for key, state in self._connections.items():
+        # Takeover-time one-shot walk over a snapshot (taking a shadow
+        # over can close it, and the close observer mutates the dict).
+        adoptable: List[_ShadowConnState] = []
+        for key, state in list(self._connections.items()):
             if state.tcb.is_synchronized and not state.ext.isn_rebased:
                 # The send-stream anchor was never learned: this
                 # connection cannot be continued faithfully (§3.2-style
                 # incomplete communication state).
                 self.degraded_connections.append(key)
                 continue
-            state.tcb.takeover()
+            adoptable.append(state)
+        self._take_over_batch(adoptable, 0)
         if self.peer_backup_ips:
             self._promote_to_primary()
         if self.sim.trace.enabled_for("sttcp"):
@@ -536,6 +624,17 @@ class STTCPBackup:
             )
             self._takeover_sid = None
 
+    def _take_over_batch(self, states: List[_ShadowConnState], start: int) -> None:
+        """Kick off go-back-N for ``states[start:start+batch]`` now and
+        schedule the rest on the next event-loop turn (same sim time)."""
+        batch = self.config.takeover_batch
+        for state in states[start : start + batch]:
+            if not state.closed:
+                state.tcb.takeover()
+        nxt = start + batch
+        if nxt < len(states):
+            self.sim.schedule(0.0, lambda: self._take_over_batch(states, nxt))
+
     def _promote_to_primary(self) -> None:
         """Become a full primary serving the remaining backups: attach
         retention to the adopted connections and start heartbeating as
@@ -549,7 +648,7 @@ class STTCPBackup:
             self.peer_backup_ips,
             self.config,
         )
-        for state in self._connections.values():
+        for state in list(self._connections.values()):
             engine.adopt_connection(state.tcb)
         engine.start()
         self.promoted_primary = engine

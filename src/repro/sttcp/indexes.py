@@ -1,0 +1,182 @@
+"""Incrementally maintained indexes over the backup's shadow set.
+
+With a handful of connections the backup could afford to walk its whole
+``_connections`` dict on every sync tick, takeover, and convergence
+check.  At thousands of simultaneous shadows those walks dominate: a
+sync tick touching 2,000 idle connections to ack the 3 that progressed
+is O(all) work for O(changed) information.
+
+:class:`BackupConnectionIndex` keeps four views current as events
+arrive, each O(1) amortised per update:
+
+* **ack schedule** — a time-ordered queue of (last-ack time, state)
+  entries, so a sync tick pops exactly the connections whose SyncTime
+  expired instead of scanning everything (§4.3).  Entries are lazily
+  invalidated: a state acked again before its entry surfaces simply
+  leaves a stale entry behind that is dropped on pop.
+* **retx-pending set** — the connections with an outstanding §4.2
+  recovery request, so re-issue checks touch only those.
+* **gap index** — the connections whose tapped ``primary_rcv_nxt`` runs
+  ahead of the local receive stream; takeover gap-finding reads this
+  instead of re-deriving gaps from a full scan (§3.2).
+* **pending-rebase set** — shadows whose send sequence space has not yet
+  been re-anchored on the primary's ISN (§4.1); convergence accounting
+  and the takeover degraded-connection check iterate only these.
+
+Every entry is validated against ground truth (the state/TCB fields)
+when read, so the indexes can only *over*-approximate; the hypothesis
+test in ``tests/sttcp/test_scale_indexes.py`` drives random event
+sequences against a brute-force oracle to prove the approximation is
+exact at read time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, List, Tuple
+
+ConnKey = Tuple[int, int]
+
+
+class BackupConnectionIndex:
+    """O(changed) bookkeeping for the backup-side shadow set.
+
+    ``state`` objects are the backup's per-connection records; the index
+    only relies on ``state.key``, ``state.closed``,
+    ``state.last_ack_time``, ``state.pending_retx``,
+    ``state.primary_rcv_nxt`` and ``state.tcb`` (``rcv_nxt``,
+    ``is_synchronized``) — duck-typed so tests can drive it with fakes.
+    """
+
+    __slots__ = ("_ack_queue", "_retx_pending", "_gapped", "_pending_rebase")
+
+    def __init__(self) -> None:
+        #: (last_ack_time when enqueued, state); sorted by construction
+        #: because sim time is monotone and every append uses "now".
+        self._ack_queue: Deque[Tuple[float, Any]] = deque()
+        self._retx_pending: Dict[ConnKey, Any] = {}
+        self._gapped: Dict[ConnKey, Any] = {}
+        self._pending_rebase: Dict[ConnKey, Any] = {}
+
+    # -- lifecycle -------------------------------------------------------------
+    def add(self, state: Any) -> None:
+        """Register a freshly attached shadow (not yet rebased/acked)."""
+        self._pending_rebase[state.key] = state
+        self._ack_queue.append((state.last_ack_time, state))
+
+    def discard(self, state: Any) -> None:
+        """Drop a reaped shadow from every view.  Ack-queue entries are
+        invalidated lazily via ``state.closed`` rather than searched."""
+        self._retx_pending.pop(state.key, None)
+        self._gapped.pop(state.key, None)
+        self._pending_rebase.pop(state.key, None)
+
+    # -- ack schedule (§4.3) ---------------------------------------------------
+    def note_acked(self, state: Any) -> None:
+        """Record that ``state`` was just acked at ``state.last_ack_time``
+        (a fresh queue entry; any older entry turns stale)."""
+        self._ack_queue.append((state.last_ack_time, state))
+
+    def requeue_unready(self, state: Any) -> None:
+        """Put a due-but-unsynchronized state back so the next tick
+        re-examines it (its last-ack time is unchanged)."""
+        self._ack_queue.append((state.last_ack_time, state))
+
+    def ack_due(self, now: float, sync_time: float) -> List[Any]:
+        """Pop and return the states whose SyncTime has expired.
+
+        Stale entries (superseded by a later ack) and closed states are
+        dropped in passing.  The caller must either ack each returned
+        state (which re-enqueues it via :meth:`note_acked`) or hand it
+        back through :meth:`requeue_unready` — dropping one on the floor
+        would silence its SyncTime forever.
+        """
+        due: List[Any] = []
+        seen: set = set()
+        queue = self._ack_queue
+        threshold = now - sync_time
+        while queue and queue[0][0] <= threshold:
+            enqueued_at, state = queue.popleft()
+            if state.closed or enqueued_at != state.last_ack_time:
+                continue  # reaped, or re-acked since this entry was queued
+            key = state.key
+            if key in seen:
+                continue
+            seen.add(key)
+            due.append(state)
+        return due
+
+    def ack_queue_len(self) -> int:
+        """Queue entries including stale ones (tests / introspection)."""
+        return len(self._ack_queue)
+
+    # -- outstanding recovery requests (§4.2) ----------------------------------
+    def note_retx_pending(self, state: Any) -> None:
+        self._retx_pending[state.key] = state
+
+    def clear_retx_pending(self, state: Any) -> None:
+        self._retx_pending.pop(state.key, None)
+
+    def retx_pending_states(self) -> List[Any]:
+        """States that had a recovery request outstanding, validated
+        against ground truth (``pending_retx`` may have been satisfied)."""
+        stale = [k for k, s in self._retx_pending.items() if s.closed or s.pending_retx is None]
+        for key in stale:
+            del self._retx_pending[key]
+        return list(self._retx_pending.values())
+
+    # -- gap index (§3.2) ------------------------------------------------------
+    def note_gap(self, state: Any) -> None:
+        """The tapped primary ACK stream ran ahead of the local shadow."""
+        self._gapped[state.key] = state
+
+    def reconcile_gap(self, state: Any) -> None:
+        """The local stream advanced: drop the entry once it caught up."""
+        target = state.primary_rcv_nxt
+        if target is None or state.tcb.rcv_nxt >= target:
+            self._gapped.pop(state.key, None)
+
+    def gaps(self) -> List[Tuple[ConnKey, int, int]]:
+        """``(key, local rcv_nxt, primary rcv_nxt)`` for every connection
+        the primary had out-received — exactly the §3.2 takeover gaps."""
+        out: List[Tuple[ConnKey, int, int]] = []
+        stale: List[ConnKey] = []
+        for key, state in self._gapped.items():
+            target = state.primary_rcv_nxt
+            if state.closed or target is None or state.tcb.rcv_nxt >= target:
+                stale.append(key)
+                continue
+            out.append((key, state.tcb.rcv_nxt, target))
+        for key in stale:
+            del self._gapped[key]
+        return out
+
+    # -- ISN-rebase / convergence (§4.1) ---------------------------------------
+    def note_rebased(self, state: Any) -> None:
+        self._pending_rebase.pop(state.key, None)
+
+    def pending_rebase_states(self) -> List[Any]:
+        return list(self._pending_rebase.values())
+
+    def pending_rebase_count(self) -> int:
+        return len(self._pending_rebase)
+
+    # -- sizes (gauges / tests) ------------------------------------------------
+    def sizes(self) -> Dict[str, int]:
+        return {
+            "ack_queue": len(self._ack_queue),
+            "retx_pending": len(self._retx_pending),
+            "gapped": len(self._gapped),
+            "pending_rebase": len(self._pending_rebase),
+        }
+
+
+def brute_force_gaps(states: Iterable[Any]) -> List[Tuple[ConnKey, int, int]]:
+    """The O(all-connections) gap scan the index replaces — kept as the
+    oracle for the differential/hypothesis tests."""
+    gaps: List[Tuple[ConnKey, int, int]] = []
+    for state in states:
+        target = state.primary_rcv_nxt
+        if not state.closed and target is not None and target > state.tcb.rcv_nxt:
+            gaps.append((state.key, state.tcb.rcv_nxt, target))
+    return gaps

@@ -103,12 +103,15 @@ class STTCPPrimary:
                 name=f"{host.name}.backup-monitor.{ip_addr}",
             )
         host.tcp.connection_observers.append(self._on_new_connection)
+        host.tcp.close_observers.append(self._on_connection_closed)
         # Registry-backed counters (scoped <host>.sttcp.*); the read-only
         # properties below preserve the historical attribute API.
         metrics = self.sim.metrics.scope(f"{host.name}.sttcp")
         self._c_acks_received = metrics.counter("acks_received")
         self._c_retx_requests_served = metrics.counter("retx_requests_served")
         self._c_retx_bytes_sent = metrics.counter("retx_bytes_sent")
+        self._c_retained_reaped = metrics.counter("retention_states_reaped")
+        self._g_retained = metrics.gauge("retained_connections")
         #: Open fault-tolerant-mode span id (start → last backup lost).
         self._ft_sid: Optional[int] = None
 
@@ -168,6 +171,7 @@ class STTCPPrimary:
         self._connections[conn_key(tcb.remote_ip, tcb.remote_port)] = _PrimaryConnState(
             tcb, retention
         )
+        self._g_retained.value = len(self._connections)
         if self.sim.trace.enabled_for("sttcp"):
             self.sim.trace.emit(
                 self.sim.now,
@@ -175,6 +179,17 @@ class STTCPPrimary:
                 "primary_attach",
                 client=f"{tcb.remote_ip}:{tcb.remote_port}",
             )
+
+    def _on_connection_closed(self, tcb: TCPConnection) -> None:
+        """Close observer: the TCP layer reaped a TCB; drop the retention
+        state with it so churning clients don't accumulate dead buffers."""
+        key = conn_key(tcb.remote_ip, tcb.remote_port)
+        state = self._connections.get(key)
+        if state is None or state.tcb is not tcb:
+            return
+        del self._connections[key]
+        self._c_retained_reaped.value += 1
+        self._g_retained.value = len(self._connections)
 
     def adopt_connection(self, tcb: TCPConnection) -> None:
         """Attach retention to a live connection (a promoted backup's
@@ -191,9 +206,18 @@ class STTCPPrimary:
         self._connections[conn_key(tcb.remote_ip, tcb.remote_port)] = _PrimaryConnState(
             tcb, retention
         )
+        self._g_retained.value = len(self._connections)
 
     def connection_state(self, key: ConnKey) -> Optional[_PrimaryConnState]:
         return self._connections.get(key)
+
+    @property
+    def retained_connection_count(self) -> int:
+        return len(self._connections)
+
+    @property
+    def retention_states_reaped(self) -> int:
+        return self._c_retained_reaped.value
 
     # Heartbeats -----------------------------------------------------------------------
     def _send_heartbeat(self) -> None:

@@ -9,9 +9,10 @@ application code.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
-from repro.errors import ConnectionClosed, PortInUseError
+from repro.errors import ConnectionClosed, EphemeralPortsExhausted, PortInUseError
 from repro.ip.datagram import PROTO_TCP, IPDatagram
 from repro.net.addresses import IPAddress
 from repro.net.nic import NIC
@@ -38,11 +39,26 @@ class TCPLayer:
         self.config = config or TCPConfig()
         self._connections: Dict[ConnectionKey, TCPConnection] = {}
         self._listeners: Dict[Tuple[Optional[int], int], TCPListener] = {}
-        self._next_ephemeral = EPHEMERAL_PORT_START
+        # Ephemeral-port pool.  Virgin ports are handed out sequentially
+        # from the cursor; ports whose last connection was reaped return
+        # through the free list and are reused once the cursor wraps.
+        # The range is a layer attribute (not a module constant read) so
+        # exhaustion tests can shrink it.
+        self.ephemeral_start = EPHEMERAL_PORT_START
+        self.ephemeral_end = EPHEMERAL_PORT_END
+        self._next_ephemeral = self.ephemeral_start
+        self._free_ports: Deque[int] = deque()
+        #: Live-connection count per local port (ephemeral accounting).
+        self._port_refs: Dict[int, int] = {}
         #: Observers invoked for every passive open, before the SYN is
         #: processed (the ST-TCP engines use this to attach retention or
         #: replication extensions to new connections).
         self.connection_observers: List[ConnectionCallback] = []
+        #: Observers invoked after a connection leaves the table (reached
+        #: CLOSED or expired TIME_WAIT).  The ST-TCP engines use this to
+        #: drop their per-connection state, so closed connections return
+        #: *all* their memory, not just the TCB table slot.
+        self.close_observers: List[ConnectionCallback] = []
         #: Answer unmatched segments with RST (real-stack behaviour).
         self.reset_on_unmatched = True
         # Registry-backed counters (scoped <host>.tcp.*); the read-only
@@ -52,6 +68,12 @@ class TCPLayer:
         self._c_segments_unmatched = metrics.counter("segments_unmatched")
         self._c_syns_deflected = metrics.counter("syns_deflected")
         self._c_resets_sent = metrics.counter("resets_sent")
+        self._c_tcbs_reaped = metrics.counter("tcbs_reaped")
+        self._c_ports_exhausted = metrics.counter("ephemeral_ports_exhausted")
+        #: Current / high-water connection-table size.
+        self._g_connections = metrics.gauge("connections")
+        self._g_connections_peak = metrics.gauge("connections_peak")
+        self._g_ports_in_use = metrics.gauge("ephemeral_ports_in_use")
         #: RTT samples (Karn-filtered) across all connections of the host.
         self.rtt_samples = metrics.histogram("rtt")
         host.ip_layer.register_protocol(PROTO_TCP, self._receive)
@@ -74,6 +96,38 @@ class TCPLayer:
     @property
     def resets_sent(self) -> int:
         return self._c_resets_sent.value
+
+    @property
+    def connection_count(self) -> int:
+        """Connections currently in the table (all states)."""
+        return len(self._connections)
+
+    @property
+    def connection_peak(self) -> int:
+        """High-water mark of the connection table."""
+        return int(self._g_connections_peak.value)
+
+    @property
+    def tcbs_reaped(self) -> int:
+        """Connections removed after reaching CLOSED / expiring TIME_WAIT."""
+        return self._c_tcbs_reaped.value
+
+    @property
+    def ephemeral_ports_exhausted(self) -> int:
+        """Active opens refused because no ephemeral port was free."""
+        return self._c_ports_exhausted.value
+
+    # Connection-table bookkeeping --------------------------------------------
+    def _track(self, key: ConnectionKey, tcb: TCPConnection) -> None:
+        self._connections[key] = tcb
+        count = len(self._connections)
+        self._g_connections.value = count
+        if count > self._g_connections_peak.value:
+            self._g_connections_peak.value = count
+        port = key[1]
+        if self.ephemeral_start <= port <= self.ephemeral_end:
+            self._port_refs[port] = self._port_refs.get(port, 0) + 1
+            self._g_ports_in_use.value = len(self._port_refs)
 
     # ISN ----------------------------------------------------------------------
     def generate_isn(self) -> int:
@@ -112,7 +166,7 @@ class TCPLayer:
         tcb = TCPConnection(
             self, local_ip, local_port, remote_ip, remote_port, config or self.config
         )
-        self._connections[key] = tcb
+        self._track(key, tcb)
         socket = TCPSocket(tcb)
         tcb.open_active()
         return socket
@@ -120,21 +174,37 @@ class TCPLayer:
     def _allocate_ephemeral(
         self, local_ip: IPAddress, remote_ip: IPAddress, remote_port: int
     ) -> int:
-        start = self._next_ephemeral
-        port = start
-        while True:
-            key = (local_ip.value, port, remote_ip.value, remote_port)
-            if key not in self._connections:
-                break
-            port += 1
-            if port > EPHEMERAL_PORT_END:
-                port = EPHEMERAL_PORT_START
-            if port == start:
-                raise PortInUseError(f"no free TCP ports on {self.host.name}")
-        self._next_ephemeral = port + 1
-        if self._next_ephemeral > EPHEMERAL_PORT_END:
-            self._next_ephemeral = EPHEMERAL_PORT_START
-        return port
+        """Pick a local port for an active open, O(1) in the common case.
+
+        Virgin ports come off the sequential cursor; once the range has
+        been walked, ports freed by reaped connections are reused from
+        the free list.  Only when both are empty — every port carries at
+        least one live connection — does allocation fall back to probing
+        for a port whose specific 4-tuple is free, and a fully loaded
+        range raises :class:`EphemeralPortsExhausted`.
+        """
+        while self._next_ephemeral <= self.ephemeral_end:
+            port = self._next_ephemeral
+            self._next_ephemeral += 1
+            if (local_ip.value, port, remote_ip.value, remote_port) not in self._connections:
+                return port
+        while self._free_ports:
+            port = self._free_ports.popleft()
+            if self._port_refs.get(port, 0):
+                continue  # re-bound explicitly since it was freed; stale entry
+            if (local_ip.value, port, remote_ip.value, remote_port) not in self._connections:
+                return port
+        # Every port in the range is busy; a port serving *other* remotes
+        # can still reach this one.  Exhaustion-adjacent, so O(range) is
+        # acceptable here and only here.
+        for port in range(self.ephemeral_start, self.ephemeral_end + 1):
+            if (local_ip.value, port, remote_ip.value, remote_port) not in self._connections:
+                return port
+        self._c_ports_exhausted.value += 1
+        raise EphemeralPortsExhausted(
+            f"{self.host.name}: all {self.ephemeral_end - self.ephemeral_start + 1} "
+            f"ephemeral ports hold live connections to {remote_ip}:{remote_port}"
+        )
 
     # Passive open -------------------------------------------------------------------
     def listen(
@@ -202,7 +272,7 @@ class TCPLayer:
             config,
         )
         key = tcb.key
-        self._connections[key] = tcb
+        self._track(key, tcb)
         listener.track_handshake(tcb)
         for observer in self.connection_observers:
             observer(tcb)
@@ -261,7 +331,24 @@ class TCPLayer:
 
     # Lifecycle ------------------------------------------------------------------------------
     def connection_closed(self, tcb: TCPConnection) -> None:
-        self._connections.pop(tcb.key, None)
+        """Reap a connection that reached CLOSED (directly or out of
+        TIME_WAIT): drop the table entry, return its ephemeral port to
+        the pool, and let lifecycle observers release their state."""
+        if self._connections.pop(tcb.key, None) is None:
+            return
+        self._c_tcbs_reaped.value += 1
+        self._g_connections.value = len(self._connections)
+        port = tcb.local_port
+        if self.ephemeral_start <= port <= self.ephemeral_end:
+            refs = self._port_refs.get(port, 0) - 1
+            if refs <= 0:
+                self._port_refs.pop(port, None)
+                self._free_ports.append(port)
+            else:
+                self._port_refs[port] = refs
+            self._g_ports_in_use.value = len(self._port_refs)
+        for observer in self.close_observers:
+            observer(tcb)
 
     @property
     def connections(self) -> List[TCPConnection]:

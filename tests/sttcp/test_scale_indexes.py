@@ -1,0 +1,131 @@
+"""Differential test: :class:`BackupConnectionIndex` vs brute force.
+
+The index is allowed to *over*-approximate internally (stale ack-queue
+entries, satisfied retx markers) but must be exact whenever it is read.
+Hypothesis drives random event interleavings over fake states and checks
+every view against the O(all-connections) scans the index replaced.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sttcp.indexes import BackupConnectionIndex, brute_force_gaps
+
+#: SyncTime for the ack-schedule checks; sim time advances in integer
+#: steps so the due-threshold comparison is exact.
+SYNC_TIME = 100.0
+
+
+class FakeTCB:
+    __slots__ = ("rcv_nxt", "is_synchronized")
+
+    def __init__(self) -> None:
+        self.rcv_nxt = 0
+        self.is_synchronized = True
+
+
+class FakeState:
+    __slots__ = (
+        "key",
+        "closed",
+        "last_ack_time",
+        "pending_retx",
+        "primary_rcv_nxt",
+        "tcb",
+    )
+
+    def __init__(self, key, now) -> None:
+        self.key = key
+        self.closed = False
+        self.last_ack_time = now
+        self.pending_retx = None
+        self.primary_rcv_nxt = None
+        self.tcb = FakeTCB()
+
+
+OPS = st.lists(
+    st.tuples(st.integers(0, 9), st.integers(0, 15), st.integers(1, 60)),
+    max_size=200,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(OPS)
+def test_index_views_match_brute_force_scans(ops):
+    index = BackupConnectionIndex()
+    live = {}  # key -> FakeState, the engine's _connections mirror
+    rebased = set()
+    now = 0.0
+    serial = 0
+
+    for opcode, pick, amount in ops:
+        now += float(amount)  # strictly monotone, integral
+        if opcode == 0 or not live:
+            serial += 1
+            state = FakeState((serial, 1), now)
+            live[state.key] = state
+            index.add(state)
+        else:
+            state = list(live.values())[pick % len(live)]
+            if opcode == 1:  # shadow reaped
+                state.closed = True
+                del live[state.key]
+                rebased.discard(state.key)
+                index.discard(state)
+            elif opcode == 2:  # local receive stream advanced
+                state.tcb.rcv_nxt += amount
+                index.reconcile_gap(state)
+            elif opcode == 3:  # tapped a primary ack
+                state.primary_rcv_nxt = (state.primary_rcv_nxt or 0) + amount
+                if state.primary_rcv_nxt > state.tcb.rcv_nxt:
+                    index.note_gap(state)
+            elif opcode == 4:  # backup ack sent
+                state.last_ack_time = now
+                index.note_acked(state)
+            elif opcode == 5:  # recovery request issued
+                state.pending_retx = ("request", now)
+                index.note_retx_pending(state)
+            elif opcode == 6:  # recovery satisfied out-of-band
+                state.pending_retx = None  # index must self-purge on read
+            elif opcode == 7:  # ISN rebase completed
+                rebased.add(state.key)
+                index.note_rebased(state)
+            elif opcode == 8:  # toggle handshake convergence
+                state.tcb.is_synchronized = not state.tcb.is_synchronized
+            elif opcode == 9:  # sync tick: the §4.3 ack schedule
+                due = index.ack_due(now, SYNC_TIME)
+                expected = {
+                    s.key
+                    for s in live.values()
+                    if now - s.last_ack_time >= SYNC_TIME
+                }
+                assert {s.key for s in due} == expected
+                for s in due:  # caller contract: ack or requeue each
+                    if s.tcb.is_synchronized:
+                        s.last_ack_time = now
+                        index.note_acked(s)
+                    else:
+                        index.requeue_unready(s)
+
+        # Read-time exactness of every view, after every event.
+        assert sorted(index.gaps()) == sorted(brute_force_gaps(live.values()))
+        assert {s.key for s in index.retx_pending_states()} == {
+            s.key for s in live.values() if s.pending_retx is not None
+        }
+        assert {s.key for s in index.pending_rebase_states()} == {
+            key for key in live if key not in rebased
+        }
+        assert index.pending_rebase_count() == len(live.keys() - rebased)
+
+
+def test_brute_force_oracle_shape():
+    """The oracle itself: open gaps only, closed states excluded."""
+    a, b, c = FakeState((1, 1), 0.0), FakeState((2, 1), 0.0), FakeState((3, 1), 0.0)
+    a.primary_rcv_nxt = 10  # gap: local stream at 0
+    b.primary_rcv_nxt = 5
+    b.tcb.rcv_nxt = 5  # caught up
+    c.primary_rcv_nxt = 7
+    c.closed = True  # reaped
+    assert brute_force_gaps([a, b, c]) == [((1, 1), 0, 10)]

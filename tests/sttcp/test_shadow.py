@@ -107,12 +107,16 @@ def test_shadow_handles_client_ack_ahead_of_slow_application():
     scenario = make_scenario()
     # Slow the backup's NIC so tapped traffic (and thus its app) lags.
     scenario.backup.nics[0].processing_delay = 0.0005
+    # The shadow is reaped from the engine once it closes, so capture the
+    # TCB at attach time to inspect it post-hoc.
+    shadows = []
+    scenario.backup.tcp.connection_observers.append(shadows.append)
     run_on(scenario, bulk_workload(64 * KB)).require_clean()
     primary_tcb = scenario.primary.tcp.connections[0]
     primary_final_offset = primary_tcb.snd_una - primary_tcb.iss
     # Let the lagging backup drain its receive queue and catch up.
     scenario.sim.run(until=scenario.sim.now + 2.0)
-    shadow = scenario.pair.backup_engine.shadow_connections[0]
+    (shadow,) = shadows
     assert shadow.snd_una - shadow.iss >= primary_final_offset
 
 

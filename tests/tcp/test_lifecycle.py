@@ -1,0 +1,128 @@
+"""Connection-table lifecycle: TCB reaping, the ephemeral-port pool,
+and listener-backlog accounting under SYN storms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConnectionRefused, EphemeralPortsExhausted
+from repro.sim.simulator import Simulator
+
+from tests.conftest import LanPair, run_echo_once
+
+#: TIME_WAIT is 1 s in the simulator; this drains it with margin.
+TIME_WAIT_DRAIN = 2.5
+
+
+def test_churned_connections_are_reaped_from_the_table():
+    """N short-lived connections leave behind N empty tables, not N TCBs."""
+    lan = LanPair(Simulator(seed=401))
+    cycles = 20
+    for index in range(cycles):
+        run_echo_once(lan, payload=b"x" * 64, port=7000 + index)
+    # TIME_WAIT TCBs linger while the churn is running...
+    assert lan.a.tcp.connection_count > 1
+    lan.sim.run(until=lan.sim.now + TIME_WAIT_DRAIN)
+    # ...and the dicts themselves shrink once the timers expire.
+    assert lan.a.tcp._connections == {}
+    assert lan.b.tcp._connections == {}
+    assert lan.a.tcp.connection_count == 0
+    assert lan.b.tcp.connection_count == 0
+    assert lan.a.tcp.tcbs_reaped == cycles
+    assert lan.b.tcp.tcbs_reaped == cycles
+    assert lan.a.tcp.connection_peak >= 2  # churn overlapped in TIME_WAIT
+
+
+def test_close_observers_fire_once_per_reaped_tcb():
+    lan = LanPair(Simulator(seed=402))
+    reaped = []
+    lan.a.tcp.close_observers.append(reaped.append)
+    run_echo_once(lan, port=7100)
+    lan.sim.run(until=lan.sim.now + TIME_WAIT_DRAIN)
+    assert lan.a.tcp.tcbs_reaped == 1
+    assert len(reaped) == 1
+    assert reaped[0].local_ip == lan.ip_a
+
+
+def test_ephemeral_port_exhaustion_and_reuse_after_reap():
+    lan = LanPair(Simulator(seed=403))
+    layer = lan.a.tcp
+    # Shrink the pool to 4 ports (the range is a layer attribute for
+    # exactly this); reset the cursor into the new range.
+    layer.ephemeral_start = 40000
+    layer.ephemeral_end = 40003
+    layer._next_ephemeral = layer.ephemeral_start
+
+    listener = lan.b.tcp.listen(9000)
+    accepted = []
+
+    def server():
+        while True:
+            conn = yield listener.accept()
+            accepted.append(conn)
+
+    lan.b.spawn(server(), "server")
+    socks = [lan.a.tcp.connect((lan.ip_b, 9000)) for _ in range(4)]
+    lan.sim.run(until=lan.sim.now + 1.0)
+    assert all(sock.connected for sock in socks)
+
+    with pytest.raises(EphemeralPortsExhausted):
+        lan.a.tcp.connect((lan.ip_b, 9000))
+    assert layer.ephemeral_ports_exhausted == 1
+
+    # Close everything (both ends, so the close handshakes complete);
+    # reaped connections return their ports through the free list, so a
+    # fresh connect succeeds in the same range.
+    for sock in socks:
+        sock.close()
+    for conn in accepted:
+        conn.close()
+    lan.sim.run(until=lan.sim.now + TIME_WAIT_DRAIN)
+    assert layer.connection_count == 0
+    retry = lan.a.tcp.connect((lan.ip_b, 9000))
+    assert 40000 <= retry.local_address[1] <= 40003
+    lan.sim.run(until=lan.sim.now + 1.0)
+    assert retry.connected
+
+
+def test_syn_storm_deflections_vs_unmatched_accounting():
+    """N ≫ backlog concurrent opens: the overflow is counted as
+    ``syns_deflected`` (a bound listener refused), never as
+    ``segments_unmatched`` (no endpoint at all)."""
+    lan = LanPair(Simulator(seed=404))
+    backlog, storm = 8, 64
+    lan.b.tcp.listen(9000, backlog=backlog)  # nobody ever accepts
+    connected, refused = [0], [0]
+
+    def opener():
+        sock = lan.a.tcp.connect((lan.ip_b, 9000))
+        try:
+            yield sock.wait_connected()
+            connected[0] += 1
+        except ConnectionRefused:
+            refused[0] += 1
+
+    for index in range(storm):
+        lan.a.spawn(opener(), f"open-{index}")
+    lan.sim.run(until=5.0)
+
+    assert connected[0] == backlog
+    assert refused[0] == storm - backlog
+    assert lan.b.tcp.syns_deflected == storm - backlog
+    assert lan.b.tcp.segments_unmatched == 0
+
+    # A SYN to a port with no listener is the *other* counter.
+    stray_done = []
+
+    def stray():
+        sock = lan.a.tcp.connect((lan.ip_b, 9999))
+        try:
+            yield sock.wait_connected()
+        except ConnectionRefused:
+            stray_done.append(True)
+
+    lan.a.spawn(stray(), "stray")
+    lan.sim.run(until=lan.sim.now + 1.0)
+    assert stray_done
+    assert lan.b.tcp.segments_unmatched == 1
+    assert lan.b.tcp.syns_deflected == storm - backlog
