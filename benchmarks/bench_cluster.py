@@ -1,0 +1,48 @@
+"""Cluster fabric benchmark: failover throughput and election latency.
+
+Runs the shipped ``smoke`` scenario (2 primaries, 2-host backup pool,
+mid-run crash → fenced takeover → replacement election → re-shadow) and
+gates two rates via ``check_perf_regression.py``:
+
+* ``events_per_sec`` — simulator throughput with the full fabric
+  (switch, GVI multicast, per-pair engines, arbiter) in the event path;
+* ``pairs_per_sec`` — completed client/service pairs per wall second,
+  the end-to-end cost of one verified failover story.
+
+Election latency is simulated time, hence deterministic — it is asserted
+against the scenario's budget here (no baseline noise) and exported as
+``election_sync_ms`` for the benchmark artifact.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import run_cluster
+from repro.harness.experiments import resolve_scenario
+
+
+def test_cluster_smoke_failover(benchmark):
+    spec = resolve_scenario("smoke")
+    record = benchmark.pedantic(lambda: run_cluster(spec), rounds=3, iterations=1)
+    invariants = record["invariants"]
+    assert record["ok"], invariants
+    assert record["clients_verified"]
+    # Deterministic sim-time gates: the takeover and every election
+    # (takeover replacement *and* orphan re-shadow) within budget.
+    assert record["takeover_latency"] <= invariants["takeover_budget"]
+    sync_latencies = [e["sync_latency"] for e in record["elections"]]
+    assert sync_latencies and all(
+        latency is not None and latency <= invariants["election_budget"]
+        for latency in sync_latencies
+    )
+    mean = benchmark.stats.stats.mean
+    pairs = len(record["pairs"])
+    print(
+        f"\ncluster smoke: {record['sim_events']} events, {pairs} pairs, "
+        f"{record['sim_events'] / mean:,.0f} events/s, "
+        f"{pairs / mean:,.1f} pairs/s, "
+        f"max election sync {max(sync_latencies) * 1000:.1f} ms (sim)"
+    )
+    benchmark.extra_info["events"] = record["sim_events"]
+    benchmark.extra_info["events_per_sec"] = round(record["sim_events"] / mean)
+    benchmark.extra_info["pairs_per_sec"] = round(pairs / mean)
+    benchmark.extra_info["election_sync_ms"] = round(max(sync_latencies) * 1000, 2)

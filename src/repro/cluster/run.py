@@ -1,0 +1,241 @@
+"""Run one cluster scenario end to end and report the evidence.
+
+The run loop is deliberately thin: everything interesting lives in the
+fabric (:mod:`repro.cluster.topology`), the election coordinator
+(:mod:`repro.cluster.election`), and the invariant monitors
+(:mod:`repro.cluster.invariants`).  This module assembles them, drives
+one client per pair through the scenario's workload across the scripted
+mid-run primary crash, and folds the artefacts into a single JSON-able
+record for the result store:
+
+* per-pair client verification (the exactly-once-streams invariant),
+* crash → detection → takeover latencies on the crashed pair,
+* the election report (who replaced whom, snapshot-sync latency),
+* the dual-primary monitor's verdict,
+* per-pair failover timelines (phase decomposition via ``repro.obs``
+  for the crashed pair, progress gaps for the healthy ones).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.apps.client import client_session
+from repro.cluster.election import ElectionCoordinator
+from repro.cluster.invariants import (
+    DualPrimaryMonitor,
+    InvariantReport,
+    election_budget,
+    takeover_budget,
+)
+from repro.cluster.pool import BackupPool, plan_assignment
+from repro.cluster.scenario import ClusterSpec
+from repro.cluster.topology import SERVICE_PORT, ClusterFabric
+from repro.faults.injection import CrashInjector
+from repro.metrics import perf
+from repro.obs.timeline import TimelineCollector, reconstruct_failover
+
+#: Clients start this long after the service fabric comes up.
+CLIENT_START = 0.1
+
+#: Per-client spawn stagger, so N identical workloads don't run in
+#: artificial lockstep on the shared WAN hub.
+CLIENT_STAGGER = 0.003
+
+
+class ClusterRun:
+    """An assembled, not-yet-driven cluster scenario."""
+
+    def __init__(self, spec: ClusterSpec, sim: Optional[Any] = None) -> None:
+        self.spec = spec
+        self.fabric = ClusterFabric(spec, sim=sim)
+        self.sim = self.fabric.sim
+        plan = spec.assignment or plan_assignment(
+            spec.service_names(), spec.backup_names(), spec.capacity
+        )
+        self.pool = BackupPool(spec.backup_names(), spec.capacity)
+        for backup_name in sorted(plan):
+            backup = self.fabric.backup_by_name[backup_name]
+            for service_name in plan[backup_name]:
+                service = self.fabric.service_by_name[service_name]
+                self.pool.assign(service_name, backup_name)
+                self.fabric.attach_shadow(backup, service)
+                self.fabric.create_primary_engine(service, backup)
+        self.coordinator = ElectionCoordinator(self.fabric, self.pool)
+        self.monitor = DualPrimaryMonitor(self.fabric)
+        self.collector = TimelineCollector().attach(self.sim.trace)
+        self.crash_injector = CrashInjector(self.sim)
+        self.results: Dict[str, Any] = {}
+
+    # Drive -------------------------------------------------------------------------
+    def _pair_process(self, service: Any) -> Generator:
+        result = yield from client_session(
+            service.client, (service.service_ip, SERVICE_PORT), self.spec.workload()
+        )
+        self.results[service.name] = result
+
+    def begin(self, schedule_crash: bool = True) -> Any:
+        """Deploy the fabric: engines, monitor, clients (at
+        ``CLIENT_START``), and — unless a caller injects its own faults,
+        as the cluster drills do — the scripted crash.  Returns the
+        :class:`ServiceNode` the scenario's crash targets."""
+        self.fabric.start_services()
+        self.monitor.start()
+        crashed = self.fabric.services[self.spec.crash_primary]
+        if schedule_crash:
+            self.crash_injector.crash_at(crashed.primary, self.spec.crash_at)
+        for service in self.fabric.services:
+            self.sim.schedule_at(
+                CLIENT_START + service.index * CLIENT_STAGGER,
+                service.client.spawn,
+                self._pair_process(service),
+                f"{service.client.name}.session",
+            )
+        return crashed
+
+    def execute(self) -> Dict[str, Any]:
+        spec = self.spec
+        sim = self.sim
+        crashed = self.begin()
+        deadline = spec.deadline
+
+        def done() -> bool:
+            return (
+                len(self.results) == len(self.fabric.services)
+                and self.coordinator.report.all_synced
+            )
+
+        while not done() and sim.now < deadline:
+            sim.run(until=sim.now + 0.050)
+        self.monitor.stop()
+        perf.note_simulation(sim)
+        return self._assemble(crashed)
+
+    # Reporting ---------------------------------------------------------------------
+    def _pair_timeline(self, client_name: str) -> Optional[Any]:
+        """Reconstruct the failover phases from this pair's viewpoint:
+        its own client's progress checkpoints, everyone's cold markers
+        (only the crashed pair has suspicion/takeover events)."""
+        filtered = [
+            r
+            for r in self.collector.records
+            if r.category != "app" or r.fields.get("host") == client_name
+        ]
+        return reconstruct_failover(filtered)
+
+    def _assemble(self, crashed: Any) -> Dict[str, Any]:
+        spec = self.spec
+        takeover_engine = self.coordinator.takeover_engines.get(crashed.name)
+        detection = takeover = float("nan")
+        if takeover_engine is not None:
+            if takeover_engine.detection_time is not None:
+                detection = takeover_engine.detection_time - spec.crash_at
+            if takeover_engine.takeover_time is not None:
+                takeover = takeover_engine.takeover_time - spec.crash_at
+
+        pairs: List[Dict[str, Any]] = []
+        failures: List[str] = []
+        for service in self.fabric.services:
+            result = self.results.get(service.name)
+            if result is None:
+                pairs.append({"service": service.name, "completed": False})
+                failures.append(f"{service.name}: client never finished")
+                continue
+            ok = result.verified and result.error is None
+            if not ok:
+                failures.append(f"{service.name}: {result.error or 'corrupt stream'}")
+            pairs.append(
+                {
+                    "service": service.name,
+                    "completed": True,
+                    "verified": ok,
+                    "exchanges": result.exchanges_done,
+                    "total_time": result.total_time,
+                    "max_gap": result.max_gap,
+                }
+            )
+
+        timelines: Dict[str, Any] = {}
+        for service in self.fabric.services:
+            if service.name == crashed.name:
+                timeline = self._pair_timeline(service.client.name)
+                timelines[service.name] = (
+                    timeline.summary() if timeline is not None else None
+                )
+            else:
+                result = self.results.get(service.name)
+                timelines[service.name] = {
+                    "max_gap": result.max_gap if result is not None else None
+                }
+
+        config = crashed.config
+        elections = self.coordinator.report
+        degraded = (
+            len(takeover_engine.degraded_connections)
+            if takeover_engine is not None
+            else 0
+        )
+        sync_latencies = [
+            r.sync_latency
+            for r in elections.records
+            if r.sync_latency is not None
+        ]
+        invariants = InvariantReport(
+            no_dual_primary=not self.monitor.violations,
+            exactly_once_streams=not failures and degraded == 0,
+            bounded_takeover=takeover == takeover and takeover <= takeover_budget(config),
+            bounded_election=bool(elections.records)
+            and not elections.failed
+            and elections.all_synced
+            and all(lat <= election_budget(config) for lat in sync_latencies),
+            details={
+                "takeover_budget": takeover_budget(config),
+                "election_budget": election_budget(config),
+                "dual_primary": self.monitor.summary(),
+            },
+        )
+        arbiter = self.fabric.arbiter
+        return {
+            "scenario": spec.name,
+            "primaries": spec.primaries,
+            "backups": spec.backups,
+            "capacity": spec.capacity,
+            "crashed_service": crashed.name,
+            "crash_at": spec.crash_at,
+            "detection_latency": detection,
+            "takeover_latency": takeover,
+            "degraded": degraded,
+            "clients_verified": not failures,
+            "client_failures": failures[:10],
+            "elections": [
+                {
+                    "service": r.service,
+                    "consumed_backup": r.consumed_backup,
+                    "new_backup": r.new_backup,
+                    "kind": r.kind,
+                    "at": r.at,
+                    "sync_latency": r.sync_latency,
+                }
+                for r in elections.records
+            ],
+            "retired_services": elections.retired_services,
+            "pool": self.pool.summary(),
+            "arbiter": {
+                "fence_requests": arbiter.fence_requests,
+                "cuts_performed": arbiter.cuts_performed,
+                "requests_coalesced": arbiter.requests_coalesced,
+                "max_queue_depth": arbiter.max_queue_depth,
+                "sabotaged": arbiter.sabotaged,
+            },
+            "invariants": invariants.to_record(),
+            "timelines": timelines,
+            "pairs": pairs,
+            "sim_seconds": self.sim.now,
+            "sim_events": self.sim.events_executed,
+            "ok": invariants.all_hold,
+        }
+
+
+def run_cluster(spec: ClusterSpec) -> Dict[str, Any]:
+    """Build and drive one scenario; returns the run record."""
+    return ClusterRun(spec).execute()

@@ -73,7 +73,7 @@ class DrillEnv:
         settings = program.settings
         self.program = program
         self.mode = settings.get("mode", "server")
-        if self.mode not in ("server", "client", "sttcp"):
+        if self.mode not in ("server", "client", "sttcp", "cluster"):
             raise ValueError(f"unknown drill mode {self.mode!r}")
         seed = settings.get("seed")
         if seed is None:
@@ -94,13 +94,18 @@ class DrillEnv:
         self.app_sent = 0  # cumulative sock_write bytes (pattern offsets)
         self.app_read_bytes = 0
         self.pair = None
+        self.peer: Optional[DrillPeer] = None
         self.primary: Optional[Host] = None
         self.backup: Optional[Host] = None
         self.tap_nic = None
         self.sttcp_config = None
+        self.power_switch = None
+        self.cluster = None
         self.obs_probes: List[Any] = []
         if self.mode == "sttcp":
             self._build_sttcp(settings)
+        elif self.mode == "cluster":
+            self._build_cluster(settings)
         else:
             self._build_single(settings)
 
@@ -153,6 +158,7 @@ class DrillEnv:
         self.tap_nic = backup_nic
         self.hut = self.primary
         power_switch = PowerSwitch(self.sim, self.sttcp_config.stonith_delay)
+        self.power_switch = power_switch
         self.pair = STTCPServerPair(
             self.primary,
             self.backup,
@@ -171,6 +177,25 @@ class DrillEnv:
             # correct order (suppressor first).
             self._install_obs_probe(self.backup)
         self.pair.start_service()
+
+    def _build_cluster(self, settings: dict) -> None:
+        """A full cluster fabric under the drill timeline.
+
+        ``use(mode="cluster", cluster={...})`` takes a scenario document
+        (the ``configs/cluster/`` schema).  There is no scripted peer —
+        every pair runs its real client — so the script drives the run
+        with ``fault`` and ``probe`` ops only; the scenario's own crash
+        is NOT scheduled (drill faults own the timeline).
+        """
+        from repro.cluster.run import ClusterRun
+        from repro.cluster.scenario import spec_from_dict
+
+        raw = dict(settings.get("cluster") or {})
+        raw.setdefault("name", self.program.name)
+        self.cluster = ClusterRun(spec_from_dict(raw), sim=self.sim)
+        self.cluster.begin(schedule_crash=False)
+        self.hut = self.cluster.fabric.services[0].primary
+        self.primary = self.hut
 
     def _install_obs_probe(self, host: Host) -> None:
         from repro.obs.tcp_ext import TraceProbeExtension
@@ -216,6 +241,13 @@ class DrillEnv:
     # -- op execution -------------------------------------------------------
     def schedule(self, program: DrillProgram) -> None:
         for op in program.ops:
+            if self.mode == "cluster" and (
+                op.kind in ("inject", "sock") or op.kind.startswith("expect")
+            ):
+                raise ValueError(
+                    f"{op.label or op.kind}: cluster drills have no scripted "
+                    "peer; use fault() and probe() ops"
+                )
             if op.kind == "inject":
                 self.sim.schedule_at(op.time, self.peer.inject, op.spec)
             elif op.kind == "sock":
@@ -283,6 +315,8 @@ def _render_spec(spec: SegmentSpec) -> str:
 def _match_expectations(program: DrillProgram, env: DrillEnv) -> Optional[str]:
     """Match expect ops against the capture; first mismatch wins."""
     peer = env.peer
+    if peer is None:  # cluster mode: probes only, nothing to match
+        return None
     captured = peer.captured
     cursor = 0
     expect_index = 0
@@ -414,7 +448,7 @@ def run_program(program: DrillProgram) -> Tuple[DrillResult, DrillEnv]:
         passed=failure is None,
         expects=expects,
         probes=probes,
-        injects=env.peer.injected,
+        injects=env.peer.injected if env.peer is not None else 0,
         sim_time=program.end_time,
         failure=failure,
     )

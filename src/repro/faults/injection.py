@@ -103,6 +103,25 @@ def partition_channel(medium: Any, channel_port: int) -> ScriptedLoss:
     return model
 
 
+def partition_channel_oneway(medium: Any, channel_port: int, src_ip: Any) -> ScriptedLoss:
+    """Drop UDP-channel frames *sent by* ``src_ip`` crossing ``medium``.
+
+    The asymmetric partition: one side's heartbeats vanish while the
+    other side's still arrive, so exactly one endpoint turns suspicious.
+    Without fencing this is the classic dual-primary recipe.
+    """
+
+    def predicate(frame: EthernetFrame) -> bool:
+        return (
+            _is_udp_channel_frame(frame, channel_port)
+            and frame.payload.src == src_ip
+        )
+
+    model = ScriptedLoss(predicate=predicate)
+    medium.loss_model = model
+    return model
+
+
 def clear_loss(medium_or_nic: Any) -> None:
     """Remove any injected loss model."""
     if hasattr(medium_or_nic, "rx_loss_model"):
@@ -183,6 +202,59 @@ def _fault_channel_partition(env: Any, time: float) -> None:
     env.sim.schedule_at(time, partition_channel, env.hub, config.channel_port)
 
 
+@drill_fault("channel_partition_oneway")
+def _fault_channel_partition_oneway(env: Any, time: float, sender: str = "primary") -> None:
+    config = _require(env, "sttcp_config", "channel_partition_oneway")
+    host = _require(env, sender, "channel_partition_oneway")
+    src_ip = host.interfaces[0].ip
+    env.sim.schedule_at(
+        time, partition_channel_oneway, env.hub, config.channel_port, src_ip
+    )
+
+
 @drill_fault("channel_heal")
 def _fault_channel_heal(env: Any, time: float) -> None:
     env.sim.schedule_at(time, clear_loss, env.hub)
+
+
+@drill_fault("power_kill")
+def _fault_power_kill(env: Any, time: float, host: str = "primary") -> None:
+    """Fence ``host`` through the power switch (relay delay included) —
+    the STONITH primitive as a drill-armable fault."""
+    switch = _require(env, "power_switch", "power_kill")
+    target = _require(env, host, "power_kill")
+    env.sim.schedule_at(time, switch.cut_power, target)
+
+
+# -- cluster-mode faults (env.cluster is a repro.cluster.run.ClusterRun) ----
+def _cluster_service(env: Any, service: str, fault: str) -> Any:
+    cluster = _require(env, "cluster", fault)
+    try:
+        return cluster.fabric.service_by_name[service]
+    except KeyError:
+        known = ", ".join(sorted(cluster.fabric.service_by_name))
+        raise ValueError(f"fault {fault!r}: unknown service {service!r} ({known})") from None
+
+
+@drill_fault("cluster_crash")
+def _fault_cluster_crash(env: Any, time: float, service: str = "s0") -> None:
+    """Crash the host currently acting as ``service``'s primary."""
+    node = _cluster_service(env, service, "cluster_crash")
+    env.sim.schedule_at(
+        time, lambda: env.crash_injector.crash_at(node.primary_host, env.sim.now)
+    )
+
+
+@drill_fault("cluster_partition_oneway")
+def _fault_cluster_partition_oneway(env: Any, time: float, service: str = "s0") -> None:
+    """Asymmetric partition: ``service``'s primary stays alive but its
+    outbound UDP-channel frames (heartbeats included) never leave its
+    cable — the backup sees a dead primary, the primary sees a healthy
+    world.  Only fencing keeps this from a dual-primary."""
+    node = _cluster_service(env, service, "cluster_partition_oneway")
+    cluster = env.cluster
+    cable = cluster.fabric.lan_cables[node.primary_host.name]
+    src_ip = node.primary_host.interfaces[0].ip
+    env.sim.schedule_at(
+        time, partition_channel_oneway, cable, node.config.channel_port, src_ip
+    )

@@ -32,10 +32,12 @@ from typing import Any, Dict, List, Optional
 from repro.harness.executor import ExperimentResult, run_experiment
 from repro.harness.experiments import (
     DEFAULT_LADDER,
+    DEFAULT_SCENARIOS,
     PAPER_SCALE,
     QUICK_SCALE,
     SMOKE_LADDER,
     default_scale,
+    format_cluster,
     format_figure5,
     format_figure6,
     format_scale,
@@ -206,6 +208,21 @@ def _cmd_scale(args: argparse.Namespace) -> int:
         for record in records
     )
     return 0 if clean else 1
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    """N primary/backup pairs on one fabric: pooled backups, fenced
+    takeover, replacement-backup election (docs/CLUSTER.md)."""
+    scenarios = args.scenario if args.scenario else list(DEFAULT_SCENARIOS)
+    records = _run("cluster", args, scenarios=scenarios).rows
+    print(format_cluster(records))
+    _export(records, args)
+    if getattr(args, "timelines", False):
+        for record in records:
+            print(f"\n{record['scenario']}: per-pair timelines")
+            for pair, timeline in sorted(record["timelines"].items()):
+                print(f"  {pair}: {timeline}")
+    return 0 if all(record["ok"] for record in records) else 1
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -396,6 +413,26 @@ def build_parser() -> argparse.ArgumentParser:
         f"--quick uses {','.join(map(str, SMOKE_LADDER))})",
     )
     scale.set_defaults(fn=_cmd_scale)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="N-pair fabric with backup pool, election + STONITH (docs/CLUSTER.md)",
+    )
+    common(cluster)
+    cluster.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME_OR_PATH",
+        help="scenario to run: a shipped name "
+        f"({', '.join(DEFAULT_SCENARIOS)}) or a JSON file path; "
+        "repeatable (default: all shipped scenarios)",
+    )
+    cluster.add_argument(
+        "--timelines",
+        action="store_true",
+        help="print the per-pair failover timelines after the table",
+    )
+    cluster.set_defaults(fn=_cmd_cluster)
 
     trace = sub.add_parser(
         "trace", help="a traced failover: client tcpdump or Chrome trace export"

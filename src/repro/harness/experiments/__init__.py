@@ -17,6 +17,12 @@ from repro.harness.experiments.churn import (
     format_scale,
     scale_ladder,
 )
+from repro.harness.experiments.cluster import (
+    DEFAULT_SCENARIOS,
+    cluster_runs,
+    format_cluster,
+    resolve_scenario,
+)
 from repro.harness.experiments.figure5 import figure5, format_figure5
 from repro.harness.experiments.figure6 import figure6, format_figure6
 from repro.harness.experiments.scale import (
@@ -34,6 +40,7 @@ from repro.harness.spec import experiment_names, get_spec
 
 __all__ = [
     "DEFAULT_LADDER",
+    "DEFAULT_SCENARIOS",
     "FIGURE_HB_SWEEP",
     "PAPER_HB_GRID",
     "PAPER_SCALE",
@@ -45,10 +52,12 @@ __all__ = [
     "ablation_logger",
     "ablation_overhead",
     "ablation_sync",
+    "cluster_runs",
     "default_scale",
     "experiment_names",
     "figure5",
     "figure6",
+    "format_cluster",
     "format_figure5",
     "format_figure6",
     "format_scale",
@@ -56,6 +65,7 @@ __all__ = [
     "format_table2",
     "get_spec",
     "hb_label",
+    "resolve_scenario",
     "scale_ladder",
     "table1",
     "table2",

@@ -1,0 +1,142 @@
+"""The ``cluster`` experiment: N primary/backup pairs on one fabric.
+
+Each cell is one declarative scenario from ``configs/cluster/`` (or an
+inline spec dict): a fabric of N primaries shadowed by a pool of M
+backup hosts, one client per pair, a scripted mid-run primary crash, the
+arbiter-fenced takeover, and the replacement-backup election that
+re-establishes shadowing (see ``docs/CLUSTER.md``).  The cell's params
+embed the *parsed* spec — not the file path — so the result-store
+content hash is the scenario itself; editing a JSON file re-runs exactly
+the cells it changes.
+
+The record is the full :func:`repro.cluster.run.run_cluster` bundle:
+per-pair verification, crash→detection→takeover latencies, the election
+ledger with shadow-sync latencies, arbiter counters, the dual-primary
+monitor's verdict, and per-pair failover timelines.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.harness.executor import run_experiment
+from repro.harness.results import ResultStore
+from repro.harness.spec import ExperimentSpec, GridCell, Record, register
+from repro.harness.tables import format_table
+
+#: The shipped scenario set, in the order the table reports them.
+DEFAULT_SCENARIOS = ("smoke", "trio", "storm")
+
+#: ``configs/cluster/`` relative to the repo root (this file lives at
+#: ``src/repro/harness/experiments/``).
+SCENARIO_DIR = Path(__file__).resolve().parents[4] / "configs" / "cluster"
+
+
+def resolve_scenario(name: Union[str, Path, Dict[str, Any], "ClusterSpec"]) -> "ClusterSpec":
+    """A scenario by shipped name, file path, inline dict, or spec."""
+    # Imported lazily: repro.cluster.scenario itself imports the harness
+    # package (for calibration profiles), so a module-level import here
+    # would close an import cycle through repro.harness.experiments.
+    from repro.cluster.scenario import ClusterSpec, load_scenario, spec_from_dict
+
+    if isinstance(name, ClusterSpec):
+        return name
+    if isinstance(name, dict):
+        return spec_from_dict(name)
+    path = Path(name)
+    if path.suffix != ".json" and not path.exists():
+        path = SCENARIO_DIR / f"{name}.json"
+    return load_scenario(path)
+
+
+def _build_cells(
+    scale: Any = None,
+    scenarios: Optional[Sequence[Union[str, Dict[str, Any]]]] = None,
+    **_options: Any,
+) -> List[GridCell]:
+    specs = [resolve_scenario(s) for s in (scenarios or DEFAULT_SCENARIOS)]
+    return [
+        GridCell(
+            experiment="cluster",
+            cell_id=spec.name,
+            params={"spec": spec.params()},
+            seed=spec.seed,
+        )
+        for spec in specs
+    ]
+
+
+def _run_cell(cell: GridCell) -> Record:
+    from repro.cluster.run import run_cluster
+    from repro.cluster.scenario import ClusterSpec
+
+    return run_cluster(ClusterSpec(**cell.params["spec"]))
+
+
+def format_cluster(records: List[Record]) -> str:
+    rows = []
+    for record in records:
+        invariants = record["invariants"]
+        held = sum(
+            invariants[key]
+            for key in (
+                "no_dual_primary",
+                "exactly_once_streams",
+                "bounded_takeover",
+                "bounded_election",
+            )
+        )
+        elections = record["elections"]
+        syncs = [e["sync_latency"] for e in elections if e["sync_latency"] is not None]
+        rows.append(
+            [
+                record["scenario"],
+                f"{record['primaries']}:{record['backups']}",
+                f"{record['detection_latency'] * 1e3:.0f}",
+                f"{record['takeover_latency'] * 1e3:.0f}",
+                len(elections),
+                f"{max(syncs) * 1e3:.0f}" if syncs else "-",
+                record["arbiter"]["cuts_performed"],
+                f"{held}/4",
+                "OK" if record["ok"] else "FAIL",
+            ]
+        )
+    return format_table(
+        [
+            "scenario",
+            "pairs",
+            "detect (ms)",
+            "takeover (ms)",
+            "elections",
+            "sync (ms)",
+            "fences",
+            "invariants",
+            "status",
+        ],
+        rows,
+        title="cluster: pooled backups, fenced takeover, re-election",
+    )
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="cluster",
+        title="cluster: N:K shadowing fabric with election + STONITH",
+        build_cells=_build_cells,
+        run_cell=_run_cell,
+        format=format_cluster,
+    )
+)
+
+
+def cluster_runs(
+    scenarios: Optional[Sequence[Union[str, Dict[str, Any]]]] = None,
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    **options: Any,
+) -> List[Dict[str, Any]]:
+    """Run the cluster scenarios; one record each (see module docstring)."""
+    return run_experiment(
+        "cluster", scenarios=scenarios, jobs=jobs, store=store, **options
+    ).rows

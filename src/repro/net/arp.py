@@ -32,6 +32,11 @@ ARP_CACHE_TTL = 600.0
 #: How long to keep packets queued waiting for resolution before giving up.
 ARP_RESOLVE_TIMEOUT = 1.0
 
+#: Retransmit an unanswered request this often while resolution is still
+#: pending.  Far above any profile's ARP round trip (worst case ~9 ms), so
+#: a retry only ever fires when the request or reply was actually lost.
+ARP_RETRY_INTERVAL = 0.1
+
 
 class ArpMessage:
     """An ARP request or reply."""
@@ -107,8 +112,9 @@ class ArpService:
         """Invoke ``done(mac)`` once ``ip`` is resolved on ``nic``.
 
         Calls back synchronously on a table hit.  On a miss, broadcasts a
-        request; ``done(None)`` is invoked if no reply arrives within
-        :data:`ARP_RESOLVE_TIMEOUT`.
+        request, retransmitting every :data:`ARP_RETRY_INTERVAL` (a single
+        lost frame must not fail resolution); ``done(None)`` is invoked if
+        no reply arrives within :data:`ARP_RESOLVE_TIMEOUT`.
         """
         mac = self.lookup(ip)
         if mac is not None:
@@ -118,9 +124,14 @@ class ArpService:
         if waiters is not None:
             waiters.append(done)
             return
-        self._pending[ip] = [done]
+        waiters = [done]
+        self._pending[ip] = waiters
         self._broadcast_request(ip, nic)
-        self.sim.schedule(ARP_RESOLVE_TIMEOUT, self._resolution_expired, ip)
+        # Timers guard on list identity: a timer from this resolution
+        # cycle must not retransmit for (or expire) a later cycle that
+        # re-resolves the same IP.
+        self.sim.schedule(ARP_RETRY_INTERVAL, self._retry_request, ip, nic, waiters)
+        self.sim.schedule(ARP_RESOLVE_TIMEOUT, self._resolution_expired, ip, waiters)
 
     def _broadcast_request(self, target_ip: IPAddress, nic: NIC) -> None:
         sender_ip = self.host.primary_ip_on(nic)
@@ -131,11 +142,18 @@ class ArpService:
         self.requests_sent += 1
         nic.transmit(frame)
 
-    def _resolution_expired(self, ip: IPAddress) -> None:
-        waiters = self._pending.pop(ip, None)
-        if waiters:
-            for done in waiters:
-                done(None)
+    def _retry_request(self, ip: IPAddress, nic: NIC, waiters: list) -> None:
+        if self._pending.get(ip) is not waiters or not self.host.is_up:
+            return
+        self._broadcast_request(ip, nic)
+        self.sim.schedule(ARP_RETRY_INTERVAL, self._retry_request, ip, nic, waiters)
+
+    def _resolution_expired(self, ip: IPAddress, waiters: list) -> None:
+        if self._pending.get(ip) is not waiters:
+            return
+        del self._pending[ip]
+        for done in waiters:
+            done(None)
 
     # Inbound handling ------------------------------------------------------------
     def handle_message(self, message: ArpMessage, nic: NIC) -> None:

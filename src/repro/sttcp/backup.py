@@ -16,25 +16,29 @@ The backup:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.ip.datagram import PROTO_TCP, IPDatagram
 from repro.net.addresses import IPAddress
 from repro.net.nic import NIC
 from repro.sttcp.config import STTCPConfig
-from repro.sttcp.failure_detector import HeartbeatMonitor
+from repro.sttcp.failure_detector import HeartbeatMonitor, heartbeats_sent_counter
 from repro.sttcp.indexes import BackupConnectionIndex
 from repro.sttcp.messages import (
     BackupAck,
     ChannelMessage,
     ConnKey,
+    ConnSnapshot,
     Heartbeat,
     RetxData,
     RetxRequest,
+    SyncDone,
+    SyncRequest,
     conn_key,
 )
 from repro.sttcp.power_switch import PowerSwitch
 from repro.sttcp.shadow import ShadowExtension
+from repro.tcp.constants import FLAG_ACK, TCPState
 from repro.tcp.segment import TCPSegment
 from repro.tcp.seqspace import unwrap, wrap
 from repro.tcp.tcb import TCPConnection
@@ -43,6 +47,7 @@ from repro.tcp.timers import RestartableTimer
 ROLE_PASSIVE = "passive"
 ROLE_TAKING_OVER = "taking_over"
 ROLE_ACTIVE = "active"
+ROLE_RETIRED = "retired"
 
 
 class _ShadowConnState:
@@ -136,9 +141,17 @@ class STTCPBackup:
             self.config.hb_miss_threshold,
             self._on_primary_suspected,
             name=f"{host.name}.primary-monitor",
+            jitter=self.config.hb_jitter,
+            peer_host=primary_host,
         )
         self._sync_timer = RestartableTimer(self.sim, self._on_sync_tick, "backup-sync")
         self._hb_timer = RestartableTimer(self.sim, self._send_heartbeat, "backup-hb")
+        #: Election hooks: fired when this engine completes a takeover /
+        #: when a requested snapshot handoff finishes.
+        self.on_takeover: Optional[Callable[["STTCPBackup"], None]] = None
+        self.on_sync_done: Optional[Callable[["STTCPBackup"], None]] = None
+        self.sync_requested_at: Optional[float] = None
+        self.sync_done_at: Optional[float] = None
         # Registry-backed counters (scoped <host>.sttcp.*); the read-only
         # properties below preserve the historical attribute API.
         metrics = self.sim.metrics.scope(f"{host.name}.sttcp")
@@ -146,7 +159,9 @@ class STTCPBackup:
         self._c_retx_requests_sent = metrics.counter("retx_requests_sent")
         self._c_retx_bytes_recovered = metrics.counter("retx_bytes_recovered")
         self._c_logger_bytes_recovered = metrics.counter("logger_bytes_recovered")
+        self._c_snapshots_adopted = metrics.counter("snapshots_adopted")
         self._c_shadows_reaped = metrics.counter("shadows_reaped")
+        self._c_hb_sent = heartbeats_sent_counter(self.sim)
         self._g_shadows = metrics.gauge("shadows")
         self._g_pending_rebase = metrics.gauge("shadows_pending_rebase")
         #: Open takeover-episode span id (suspicion → active role).
@@ -330,6 +345,7 @@ class STTCPBackup:
             return
         self._hb_sequence += 1
         self._send(Heartbeat("backup", self._hb_sequence))
+        self._c_hb_sent.inc()
         self._hb_timer.start(self.config.hb_interval)
 
     def _send(self, message: ChannelMessage) -> None:
@@ -443,6 +459,10 @@ class STTCPBackup:
         self.primary_monitor.heard()
         if isinstance(message, RetxData):
             self._handle_retx_data(message)
+        elif isinstance(message, ConnSnapshot):
+            self._adopt_snapshot(message)
+        elif isinstance(message, SyncDone):
+            self._on_sync_done_msg(message)
         # Heartbeat / AckReply carry liveness only.
 
     def _adopt_new_primary(self, source: IPAddress) -> None:
@@ -453,6 +473,7 @@ class STTCPBackup:
         self.primary_ip = source
         # Future suspicions must power-switch the *new* primary.
         self.primary_host = self.peer_hosts.get(source.value, self.primary_host)
+        self.primary_monitor.peer_host = self.primary_host
         if self._deferred_takeover is not None:
             self._deferred_takeover.cancel()
             self._deferred_takeover = None
@@ -495,6 +516,121 @@ class STTCPBackup:
         the ISN against the shadow's own wrong value).
         """
         tcb.inject_receive_data(seq_abs, payload)
+
+    # Snapshot handoff (cluster election) ---------------------------------------------------
+    def request_sync(self) -> None:
+        """Ask the primary to snapshot every connection we don't shadow.
+
+        Used by a freshly elected pool backup joining mid-stream: the
+        retention machinery cannot replay history the previous backup
+        already acknowledged away, so instead each quiescent connection
+        is adopted at the primary's current offsets via
+        :class:`ConnSnapshot` and :meth:`TCPConnection.fast_forward`.
+        """
+        self.sync_requested_at = self.sim.now
+        self.sync_done_at = None
+        self._send(SyncRequest(tuple(self._connections.keys())))
+        if self.sim.trace.enabled_for("sttcp"):
+            self.sim.trace.emit(
+                self.sim.now, "sttcp", "sync_request", known=len(self._connections)
+            )
+
+    @property
+    def snapshots_adopted(self) -> int:
+        return self._c_snapshots_adopted.value
+
+    def _adopt_snapshot(self, snap: ConnSnapshot) -> None:
+        """Build a converged shadow from a primary's connection snapshot.
+
+        The replica handshake is synthesised (suppressed SYN/ACK + a
+        synthetic client ACK carrying the client's window), the send
+        space is rebased on the primary's real ISN, and both streams
+        fast-forward to the snapshot offsets.  From there the ordinary
+        tap keeps the shadow current; anything that slipped between the
+        snapshot and the first tapped segment is repaired by the
+        RetxRequest gap machinery, exactly like a tap loss.
+        """
+        if self.role is not ROLE_PASSIVE or snap.key in self._connections:
+            return
+        client_ip = IPAddress(snap.key[0])
+        client_port = snap.key[1]
+        tcb = self.host.tcp.synthesize_passive_open(
+            self.service_ip, self.service_port, client_ip, client_port, snap.client_isn
+        )
+        if tcb is None:
+            return
+        state = self._connections.get(snap.key)
+        if state is None:
+            return
+        state.ext.learn_primary_isn(tcb, snap.server_isn)
+        tcb.on_segment(
+            TCPSegment(
+                client_port,
+                self.service_port,
+                wrap(tcb.rcv_nxt),
+                wrap(tcb.snd_nxt),
+                FLAG_ACK,
+                snap.client_window,
+            )
+        )
+        if tcb.state is not TCPState.ESTABLISHED:
+            return  # handshake synthesis failed; leave it unconverged
+        tcb.fast_forward(snap.rcv_offset, snap.snd_offset)
+        if not state.converged:
+            self._note_converged(state)
+        self._c_snapshots_adopted.value += 1
+        # Announce our position immediately so the primary re-arms
+        # retention coverage from the snapshot point.
+        self._send_backup_ack(state)
+        if self.sim.trace.enabled_for("sttcp"):
+            self.sim.trace.emit(
+                self.sim.now,
+                "sttcp",
+                "snapshot_adopted",
+                client=f"{client_ip}:{client_port}",
+                rcv_offset=snap.rcv_offset,
+                snd_offset=snap.snd_offset,
+            )
+
+    def _on_sync_done_msg(self, message: SyncDone) -> None:
+        self.sync_done_at = self.sim.now
+        if self.sim.trace.enabled_for("sttcp"):
+            self.sim.trace.emit(
+                self.sim.now, "sttcp", "sync_complete", snapshots=message.count
+            )
+        if self.on_sync_done is not None:
+            self.on_sync_done(self)
+
+    # Retirement (cluster election) ---------------------------------------------------------
+    def retire(self) -> None:
+        """Stand this engine down permanently (its host was consumed by a
+        takeover for another service, or its duties moved to an elected
+        replacement).  Shadows are aborted locally — their RSTs are
+        vetoed by the shadow extension, so nothing reaches the wire —
+        and the channel socket closes.  Idempotent.
+        """
+        if self.role is ROLE_RETIRED:
+            return
+        self.stop()
+        self.role = ROLE_RETIRED
+        if self._deferred_takeover is not None:
+            self._deferred_takeover.cancel()
+            self._deferred_takeover = None
+        if self._takeover_sid is not None:
+            self.sim.trace.end_span(
+                self.sim.now,
+                "sttcp",
+                "takeover_episode",
+                self._takeover_sid,
+                outcome="retired",
+            )
+            self._takeover_sid = None
+        for state in list(self._connections.values()):
+            if not state.closed and state.tcb.state is not TCPState.CLOSED:
+                state.tcb.app_abort()
+        self.channel.close()
+        if self.sim.trace.enabled_for("sttcp"):
+            self.sim.trace.emit(self.sim.now, "sttcp", "retired", host=self.host.name)
 
     # Failover (§4.4, §5) ---------------------------------------------------------------------
     def _on_primary_suspected(self) -> None:
@@ -623,6 +759,11 @@ class STTCPBackup:
                 degraded=len(self.degraded_connections),
             )
             self._takeover_sid = None
+        if self.on_takeover is not None:
+            # Election hook: runs synchronously inside the takeover event
+            # so no other simulation event can observe the intermediate
+            # state (e.g. a consumed pool backup still shadowing others).
+            self.on_takeover(self)
 
     def _take_over_batch(self, states: List[_ShadowConnState], start: int) -> None:
         """Kick off go-back-N for ``states[start:start+batch]`` now and

@@ -29,6 +29,11 @@ class STTCPConfig:
 
     hb_interval: float = 0.050
     hb_miss_threshold: int = 3
+    #: Fraction of ``hb_interval`` by which each failure-detector check is
+    #: randomly perturbed (±).  Zero keeps the detectors lock-stepped (the
+    #: paper's 3-host testbed); clusters set it to desynchronise fleet-wide
+    #: suspicion storms.
+    hb_jitter: float = 0.0
     sync_time: Optional[float] = None
     ack_threshold_fraction: float = 0.75
     second_buffer_size: Optional[int] = None
@@ -67,6 +72,8 @@ class STTCPConfig:
             raise ValueError(f"hb_interval must be positive, got {self.hb_interval}")
         if self.hb_miss_threshold < 1:
             raise ValueError("hb_miss_threshold must be >= 1")
+        if not 0.0 <= self.hb_jitter < 1.0:
+            raise ValueError(f"hb_jitter must be in [0, 1), got {self.hb_jitter}")
         if not 0.0 < self.ack_threshold_fraction <= 1.0:
             raise ValueError(
                 f"ack_threshold_fraction must be in (0, 1], got "

@@ -79,8 +79,13 @@ class BackupConnectionIndex:
 
     def requeue_unready(self, state: Any) -> None:
         """Put a due-but-unsynchronized state back so the next tick
-        re-examines it (its last-ack time is unchanged)."""
-        self._ack_queue.append((state.last_ack_time, state))
+        re-examines it (its last-ack time is unchanged).
+
+        Front, not back: the entry's timestamp predates everything else
+        in the queue (it was just popped as due), and appending it at the
+        tail would hide it behind newer, not-yet-due entries — the pop
+        loop stops at the first not-due head."""
+        self._ack_queue.appendleft((state.last_ack_time, state))
 
     def ack_due(self, now: float, sync_time: float) -> List[Any]:
         """Pop and return the states whose SyncTime has expired.

@@ -21,20 +21,24 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.net.addresses import IPAddress
 from repro.sttcp.config import STTCPConfig
-from repro.sttcp.failure_detector import HeartbeatMonitor
+from repro.sttcp.failure_detector import HeartbeatMonitor, heartbeats_sent_counter
 from repro.sttcp.messages import (
     AckReply,
     BackupAck,
     ChannelMessage,
     ConnKey,
+    ConnSnapshot,
     Heartbeat,
     RetxData,
     RetxRequest,
+    SyncDone,
+    SyncRequest,
     conn_key,
 )
 from repro.sttcp.retention import SecondReceiveBuffer
 from repro.sttcp.shadow import ShadowExtension
-from repro.tcp.seqspace import unwrap
+from repro.tcp.constants import TCPState
+from repro.tcp.seqspace import unwrap, wrap
 from repro.tcp.tcb import TCPConnection
 from repro.tcp.timers import RestartableTimer
 
@@ -64,6 +68,8 @@ class STTCPPrimary:
         service_port: int,
         backup_ip: Union[IPAddress, Iterable[IPAddress]],
         config: Optional[STTCPConfig] = None,
+        channel: Optional[Any] = None,
+        backup_hosts: Optional[Dict[int, Any]] = None,
     ) -> None:
         self.host = host
         self.sim = host.sim
@@ -79,31 +85,40 @@ class STTCPPrimary:
         self.config.validate()
         self.fault_tolerant = True
         self.backup_failed_at: Optional[float] = None
+        #: backup channel-IP value → Host, when known (lets the failure
+        #: detector classify false suspicions against actual liveness).
+        self.backup_hosts: Dict[int, Any] = dict(backup_hosts or {})
         self._connections: Dict[ConnKey, _PrimaryConnState] = {}
+        #: requester channel-IP value → in-progress snapshot handoff.
+        self._sync_sessions: Dict[int, Dict[str, Any]] = {}
         self._hb_sequence = 0
         self._started = False
         # Channel socket on the primary's own (non-virtual) address.  A
         # promoted backup already owns a channel socket on this port; in
-        # that case the engine is handed the existing one.
-        existing = getattr(host, "_sttcp_channel_socket", None)
-        if existing is not None and not existing.closed:
-            self.channel = existing
+        # that case the engine is handed the existing one — explicitly
+        # via ``channel`` (clusters, where one host runs several
+        # engines on distinct ports), or through the host-level stash.
+        if channel is not None and not channel.closed:
+            self.channel = channel
         else:
-            self.channel = host.udp.socket(self.config.channel_port)
-            host._sttcp_channel_socket = self.channel
+            existing = getattr(host, "_sttcp_channel_socket", None)
+            if (
+                existing is not None
+                and not existing.closed
+                and existing.port == self.config.channel_port
+            ):
+                self.channel = existing
+            else:
+                self.channel = host.udp.socket(self.config.channel_port)
+                host._sttcp_channel_socket = self.channel
         self.channel.on_datagram = self._on_channel_message
         self._hb_timer = RestartableTimer(self.sim, self._send_heartbeat, "primary-hb")
         self.backup_monitors: Dict[int, HeartbeatMonitor] = {}
         for ip_addr in self.backup_ips:
-            self.backup_monitors[ip_addr.value] = HeartbeatMonitor(
-                self.sim,
-                self.config.hb_interval,
-                self.config.hb_miss_threshold,
-                lambda value=ip_addr.value: self._on_backup_suspected(value),
-                name=f"{host.name}.backup-monitor.{ip_addr}",
-            )
+            self.backup_monitors[ip_addr.value] = self._make_monitor(ip_addr)
         host.tcp.connection_observers.append(self._on_new_connection)
         host.tcp.close_observers.append(self._on_connection_closed)
+        self._c_hb_sent = heartbeats_sent_counter(self.sim)
         # Registry-backed counters (scoped <host>.sttcp.*); the read-only
         # properties below preserve the historical attribute API.
         metrics = self.sim.metrics.scope(f"{host.name}.sttcp")
@@ -126,6 +141,17 @@ class STTCPPrimary:
     @property
     def retx_bytes_sent(self) -> int:
         return self._c_retx_bytes_sent.value
+
+    def _make_monitor(self, ip_addr: IPAddress) -> HeartbeatMonitor:
+        return HeartbeatMonitor(
+            self.sim,
+            self.config.hb_interval,
+            self.config.hb_miss_threshold,
+            lambda value=ip_addr.value: self._on_backup_suspected(value),
+            name=f"{self.host.name}.backup-monitor.{ip_addr}",
+            jitter=self.config.hb_jitter,
+            peer_host=self.backup_hosts.get(ip_addr.value),
+        )
 
     # Lifecycle --------------------------------------------------------------------
     def start(self) -> None:
@@ -229,6 +255,7 @@ class STTCPPrimary:
             monitor = self.backup_monitors[ip_addr.value]
             if not monitor.suspected:
                 self._send(message, ip_addr)
+                self._c_hb_sent.inc()
         self._hb_timer.start(self.config.hb_interval)
 
     def _send(self, message: ChannelMessage, target: IPAddress) -> None:
@@ -246,6 +273,8 @@ class STTCPPrimary:
             self._handle_backup_ack(message, addr[0])
         elif isinstance(message, RetxRequest):
             self._handle_retx_request(message, addr[0])
+        elif isinstance(message, SyncRequest):
+            self._begin_sync(message, addr[0])
         # Heartbeats carry liveness only.
 
     def _handle_backup_ack(self, ack: BackupAck, source: IPAddress) -> None:
@@ -295,6 +324,135 @@ class STTCPPrimary:
             seq32 = (start_abs + piece_start) & 0xFFFFFFFF
             self._c_retx_bytes_sent.value += len(piece)
             self._send(RetxData(request.key, seq32, piece), source)
+
+    # Snapshot handoff (cluster election) ------------------------------------------------
+    def _quiescent(self, tcb: TCPConnection) -> bool:
+        """True when the connection's transferable state is fully captured
+        by its two stream offsets: nothing in flight, nothing buffered on
+        either side, nothing the app has not read."""
+        return (
+            tcb.state is TCPState.ESTABLISHED
+            and tcb.flight_size == 0
+            and len(tcb.send_buffer) == 0
+            and tcb.recv_buffer.available == 0
+            and tcb.recv_buffer.out_of_order_bytes == 0
+        )
+
+    def _begin_sync(self, request: SyncRequest, source: IPAddress) -> None:
+        """A new backup asks for the connections it is not yet shadowing."""
+        known = set(request.known_keys)
+        pending = [key for key in self._connections if key not in known]
+        self._sync_sessions[source.value] = {"ip": source, "pending": pending, "sent": 0}
+        if self.sim.trace.enabled_for("sttcp"):
+            self.sim.trace.emit(
+                self.sim.now, "sttcp", "sync_begin", backup=str(source), missing=len(pending)
+            )
+        self._continue_sync(source.value)
+
+    def _continue_sync(self, source_value: int) -> None:
+        """Snapshot every *quiescent* pending connection; busy ones retry.
+
+        A request/response service is quiescent between exchanges, so a
+        retry tick or two drains the whole set; connections that close
+        meanwhile simply drop out of the pending list.
+        """
+        session = self._sync_sessions.get(source_value)
+        if session is None or not self._started or not self.host.is_up:
+            return
+        source: IPAddress = session["ip"]
+        still: List[ConnKey] = []
+        for key in session["pending"]:
+            state = self._connections.get(key)
+            if state is None:
+                continue  # closed while the handoff was in progress
+            tcb = state.tcb
+            if not self._quiescent(tcb):
+                still.append(key)
+                continue
+            self._send(
+                ConnSnapshot(
+                    key,
+                    wrap(tcb.irs),
+                    wrap(tcb.iss),
+                    tcb.recv_buffer.rcv_nxt_offset,
+                    tcb.buffers.snd_offset(tcb.snd_una),
+                    tcb.snd_wnd,
+                ),
+                source,
+            )
+            session["sent"] += 1
+        if still:
+            session["pending"] = still
+            self.sim.schedule(
+                self.config.retx_request_timeout,
+                lambda: self._continue_sync(source_value),
+            )
+            return
+        del self._sync_sessions[source_value]
+        self._send(SyncDone(session["sent"]), source)
+        if self.sim.trace.enabled_for("sttcp"):
+            self.sim.trace.emit(
+                self.sim.now,
+                "sttcp",
+                "sync_done",
+                backup=str(source),
+                snapshots=session["sent"],
+            )
+
+    # Backup replacement (cluster election) ----------------------------------------------
+    def replace_backup(
+        self, old_ip: IPAddress, new_ip: IPAddress, new_host: Optional[Any] = None
+    ) -> None:
+        """Swap a consumed backup for a freshly elected one.
+
+        The old backup's monitor and ack floor are dropped; the new one
+        gets a full detection grace period.  If losing the old backup had
+        already pushed the engine into non-fault-tolerant mode, retention
+        re-arms from each connection's current read position — history
+        the new backup never saw is unprotectable either way, and the
+        snapshot handoff starts it at the current offsets.
+        """
+        old_value = old_ip.value
+        monitor = self.backup_monitors.pop(old_value, None)
+        if monitor is not None:
+            monitor.stop()
+        self.backup_ips = [addr for addr in self.backup_ips if addr.value != old_value]
+        self.backup_hosts.pop(old_value, None)
+        if new_host is not None:
+            self.backup_hosts[new_ip.value] = new_host
+        self.backup_ips.append(new_ip)
+        for state in self._connections.values():
+            state.acked_by.pop(old_value, None)
+        new_monitor = self._make_monitor(new_ip)
+        self.backup_monitors[new_ip.value] = new_monitor
+        if self._started:
+            new_monitor.start()
+            if not self._hb_timer.running:
+                self._hb_timer.start(self.config.hb_interval)
+        if not self.fault_tolerant:
+            self._reenter_fault_tolerant()
+        if self.sim.trace.enabled_for("sttcp"):
+            self.sim.trace.emit(
+                self.sim.now,
+                "sttcp",
+                "backup_replaced",
+                old=str(old_ip),
+                new=str(new_ip),
+            )
+
+    def _reenter_fault_tolerant(self) -> None:
+        self.fault_tolerant = True
+        self.backup_failed_at = None
+        for state in self._connections.values():
+            if not state.retention.enabled:
+                retention = SecondReceiveBuffer(state.retention.capacity)
+                retention.prime_at(state.tcb.recv_buffer.read_offset)
+                state.retention = retention
+                state.tcb.recv_buffer.retention = retention
+        if self.sim.trace.enabled_for("sttcp"):
+            self._ft_sid = self.sim.trace.begin_span(
+                self.sim.now, "sttcp", "fault_tolerant", backups=len(self.backup_ips)
+            )
 
     # Backup failure ---------------------------------------------------------------------
     def _on_backup_suspected(self, backup_value: int) -> None:

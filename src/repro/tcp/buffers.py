@@ -68,6 +68,17 @@ class BufferManager:
                 conn.on_readable()
         return advanced
 
+    def fast_forward(self, rcv_offset: int, snd_offset: int) -> None:
+        """Jump both empty streams to mid-connection offsets.
+
+        Snapshot handoff (cluster election): a replacement backup adopts
+        a connection at the primary's quiescent position instead of
+        replaying its history.  Both buffers must be empty — the caller
+        guarantees quiescence.
+        """
+        self.recv_buffer.fast_forward(rcv_offset)
+        self.send_buffer.fast_forward(snd_offset)
+
     def fetch_received_range(self, start_offset: int, stop_offset: int) -> ByteSpan:
         """Serve receive-stream bytes [start, stop) for backup recovery.
 

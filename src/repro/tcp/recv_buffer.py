@@ -181,6 +181,14 @@ class ReceiveBuffer:
             self.retention.on_read(start, span)
         return span
 
+    def fast_forward(self, offset: int) -> None:
+        """Adopt ``offset`` as read pointer *and* ``rcv_nxt`` of an empty
+        buffer (snapshot handoff: bytes below it were received and read
+        by the previous endpoint)."""
+        if self._out_of_order:
+            raise ValueError("fast_forward with out-of-order data held")
+        self._ready.seek(offset)
+
     def peek_unread(self, start: int, stop: int) -> ByteSpan:
         """Zero-copy view of not-yet-read in-order bytes (for ST-TCP
         recovery service)."""

@@ -59,3 +59,11 @@ class SendBuffer:
     def data_range(self, start: int, stop: int) -> ByteSpan:
         """Zero-copy view of [start, stop) for (re)transmission."""
         return self._data.peek_absolute(start, stop)
+
+    def fast_forward(self, offset: int) -> None:
+        """Adopt ``offset`` as the stream position of an *empty* buffer.
+
+        Snapshot handoff: bytes below ``offset`` were sent and acked by
+        the previous endpoint; this one never carries them.
+        """
+        self._data.seek(offset)

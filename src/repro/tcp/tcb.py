@@ -428,6 +428,29 @@ class TCPConnection:
             if action is not None:
                 action(self)
 
+    def fast_forward(self, rcv_offset: int, snd_offset: int) -> None:
+        """Adopt mid-connection stream positions without replaying bytes.
+
+        Snapshot handoff: a replacement shadow joins at the primary's
+        quiescent offsets (cluster election).  Only legal on a
+        synchronized connection with empty buffers and nothing in
+        flight — quiescence is the caller's contract; any straggler
+        bytes around the snapshot instant are recovered by the normal
+        ST-TCP gap machinery afterwards.
+        """
+        if not self.is_synchronized:
+            raise ConnectionClosed(f"fast_forward in state {self.state}")
+        if self.flight_size != 0:
+            raise ValueError(f"fast_forward with {self.flight_size} bytes in flight")
+        if self.recv_buffer.available or len(self.send_buffer):
+            raise ValueError("fast_forward with buffered data")
+        self.buffers.fast_forward(rcv_offset, snd_offset)
+        self.snd_una = self.iss + 1 + snd_offset
+        self.snd_nxt = self.snd_una
+        self.snd_max = self.snd_una
+        self.rcv_nxt = self.irs + 1 + rcv_offset
+        self.trace_event("fast_forward", rcv_offset=rcv_offset, snd_offset=snd_offset)
+
     def inject_receive_data(self, seq_abs: int, payload: ByteSpan) -> int:
         """Insert recovered client bytes into the receive stream (§4.2,
         §3.2); see :meth:`BufferManager.inject_receive_data`."""

@@ -1,0 +1,68 @@
+"""Mutation checks: the cluster safety nets must *fail* when sabotaged.
+
+The dual-primary drill (t30) passing proves nothing unless disabling
+fencing makes it fail; likewise the election drill (t28) must fail when
+the pool refuses to elect.  Each case here breaks one load-bearing piece
+of the cluster failover path and asserts the matching drill catches it.
+"""
+
+from pathlib import Path
+
+from repro.cluster.arbiter import ClusterArbiter
+from repro.cluster.pool import BackupPool
+from repro.drill import run_drill_file
+
+SCRIPTS = Path(__file__).parent.parent / "drill" / "scripts"
+
+
+def _sabotage_arbiter(monkeypatch):
+    # The fabric resets ``sabotaged`` from the scenario spec after
+    # construction, so flipping the instance attribute in __init__ would
+    # be overwritten; a read-always-True property with a no-op setter
+    # models an actuator wired to nothing regardless of configuration.
+    monkeypatch.setattr(
+        ClusterArbiter,
+        "sabotaged",
+        property(lambda self: True, lambda self, value: None),
+        raising=False,  # instance attribute only; shadow it at the class
+    )
+
+
+def test_sabotaged_arbiter_breaks_dual_primary_drill(monkeypatch):
+    # With the actuator disabled the arbiter still acknowledges fence
+    # requests, so the takeover proceeds against a live primary — the
+    # dual-primary monitor must catch the overlap and fail t30.
+    _sabotage_arbiter(monkeypatch)
+    result = run_drill_file(SCRIPTS / "t30_cluster_asymmetric_partition.py")
+    assert not result.passed
+    assert "dual primary" in (result.failure or "")
+
+
+def test_sabotaged_arbiter_breaks_promotion_drill(monkeypatch):
+    # Same sabotage, different witness: t28's primary genuinely crashed,
+    # so no dual-primary arises — the fence accounting must catch the
+    # unfenced takeover instead.
+    _sabotage_arbiter(monkeypatch)
+    result = run_drill_file(SCRIPTS / "t28_cluster_pool_promotion.py")
+    assert not result.passed
+    assert "without a fence" in (result.failure or "")
+
+
+def test_refused_election_breaks_promotion_drill(monkeypatch):
+    # A pool that never elects leaves the taken-over service without a
+    # replacement backup; t28's convergence probe must notice.
+    monkeypatch.setattr(BackupPool, "elect", lambda self, service, exclude=(): None)
+    result = run_drill_file(SCRIPTS / "t28_cluster_pool_promotion.py")
+    assert not result.passed
+    assert "replacement" in (result.failure or "")
+
+
+def test_drills_pass_unmutated():
+    # Guard against vacuous mutation results: the same scripts pass when
+    # nothing is sabotaged (also covered by the conformance corpus).
+    for name in (
+        "t28_cluster_pool_promotion.py",
+        "t30_cluster_asymmetric_partition.py",
+    ):
+        result = run_drill_file(SCRIPTS / name)
+        assert result.passed, f"\n{result.failure}"

@@ -1,0 +1,104 @@
+"""Backup-pool bookkeeping: planning, consumption, deterministic elections."""
+
+import pytest
+
+from repro.cluster.pool import BackupPool, plan_assignment
+from repro.errors import ConfigurationError
+
+
+class TestPlanAssignment:
+    def test_round_robin_least_loaded(self):
+        plan = plan_assignment(["s0", "s1", "s2"], ["pool0", "pool1"], 2)
+        assert plan == {"pool0": ["s0", "s2"], "pool1": ["s1"]}
+
+    def test_ties_break_on_name(self):
+        plan = plan_assignment(["s0"], ["pool1", "pool0"], 1)
+        assert plan["pool0"] == ["s0"]
+        assert plan["pool1"] == []
+
+    def test_infeasible_raises(self):
+        with pytest.raises(ConfigurationError):
+            plan_assignment(["s0", "s1", "s2"], ["pool0"], 2)
+
+    def test_bad_capacity_raises(self):
+        with pytest.raises(ConfigurationError):
+            plan_assignment(["s0"], ["pool0"], 0)
+
+
+class TestBackupPool:
+    def make(self, backups=("pool0", "pool1", "pool2"), capacity=2):
+        return BackupPool(backups, capacity)
+
+    def test_assign_and_query(self):
+        pool = self.make()
+        pool.assign("s0", "pool0")
+        pool.assign("s1", "pool0")
+        assert pool.backup_of("s0") == "pool0"
+        assert pool.load("pool0") == 2
+        assert pool.free_slots() == 4
+
+    def test_capacity_enforced(self):
+        pool = self.make(capacity=1)
+        pool.assign("s0", "pool0")
+        with pytest.raises(ConfigurationError):
+            pool.assign("s1", "pool0")
+
+    def test_double_assignment_rejected(self):
+        pool = self.make()
+        pool.assign("s0", "pool0")
+        with pytest.raises(ConfigurationError):
+            pool.assign("s0", "pool1")
+
+    def test_release_returns_ex_backup(self):
+        pool = self.make()
+        pool.assign("s0", "pool0")
+        assert pool.release("s0") == "pool0"
+        assert pool.backup_of("s0") is None
+        assert pool.release("s0") is None
+
+    def test_consume_orphans_and_is_idempotent(self):
+        pool = self.make()
+        pool.assign("s0", "pool0")
+        pool.assign("s2", "pool0")
+        assert pool.consume("pool0") == ["s0", "s2"]
+        assert pool.consume("pool0") == []
+        assert "pool0" in pool.consumed
+        with pytest.raises(ConfigurationError):
+            pool.assign("s3", "pool0")
+
+    def test_consume_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            self.make().consume("nope")
+
+    def test_elect_least_loaded_live(self):
+        pool = self.make()
+        pool.assign("s0", "pool0")
+        pool.assign("s1", "pool1")
+        pool.assign("s2", "pool1")  # pool1 full
+        pool.consume("pool2")
+        # pool0 (load 1) is the only live host with a free slot.
+        assert pool.elect("s3") == "pool0"
+        assert pool.backup_of("s3") == "pool0"
+        assert pool.elections_held == 1
+        assert pool.elections_failed == 0
+
+    def test_elect_honours_exclude_and_ties(self):
+        pool = self.make()
+        assert pool.elect("s0", exclude=["pool0"]) == "pool1"
+
+    def test_elect_exhausted(self):
+        pool = self.make(backups=("pool0",), capacity=1)
+        pool.consume("pool0")
+        assert pool.elect("s0") is None
+        assert pool.elections_failed == 1
+
+    def test_summary_is_jsonable(self):
+        import json
+
+        pool = self.make()
+        pool.assign("s0", "pool1")
+        pool.consume("pool2")
+        summary = pool.summary()
+        assert json.loads(json.dumps(summary)) == summary
+        assert summary["assignments"]["pool1"] == ["s0"]
+        assert summary["consumed"] == ["pool2"]

@@ -1,0 +1,53 @@
+# Cluster backup-pool promotion: when a primary crashes, its pool
+# backup takes over the service, the election coordinator promotes the
+# consumed pool host to full primary, and a replacement backup from the
+# pool re-establishes shadowing via the snapshot handoff — while the
+# healthy pair's client never notices.
+use(
+    mode="cluster",
+    cluster={
+        "name": "t28",
+        "primaries": 2,
+        "backups": 2,
+        "capacity": 2,
+        "workload": {"exchanges": 80, "service_time": 0.005},
+        "deadline": 5.0,
+    },
+)
+
+fault(0.250, "cluster_crash", service="s0")
+
+
+def promoted(env):
+    run = env.cluster
+    record = run.coordinator.report.for_service("s0")
+    assert record is not None, "no election ran for s0"
+    assert record.kind == "takeover", f"expected takeover election, got {record.kind}"
+    assert record.consumed_backup == "pool0", f"wrong consumed backup: {record}"
+    assert record.new_backup == "pool1", f"wrong replacement: {record.new_backup}"
+    owner = run.fabric.service_by_name["s0"].primary_host.name
+    assert owner == "pool0", f"s0 should be owned by the promoted pool0, not {owner}"
+    assert "pool0" in run.pool.consumed, "pool0 not marked consumed"
+    assert run.fabric.arbiter.cuts_performed == 1, "takeover without a fence"
+
+
+probe(0.700, promoted, label="pool host promoted, replacement elected")
+
+
+def converged(env):
+    record = env.cluster.coordinator.report.for_service("s0")
+    assert record.sync_done_at is not None, "replacement shadow never synced"
+
+
+probe(1.000, converged, label="replacement shadow converged")
+
+
+def verified(env):
+    run = env.cluster
+    assert len(run.results) == 2, f"clients still running, done: {sorted(run.results)}"
+    for name, result in sorted(run.results.items()):
+        assert result.verified and result.error is None, f"{name}: {result.error}"
+    assert not run.monitor.violations, f"dual primary: {run.monitor.violations[:3]}"
+
+
+probe(1.500, verified, label="both byte streams exactly-once")

@@ -171,5 +171,55 @@ def test_drill_fault_registry_covers_the_documented_set():
         "tap_outage",
         "tap_loss",
         "channel_partition",
+        "channel_partition_oneway",
         "channel_heal",
+        "power_kill",
     } <= set(DRILL_FAULTS)
+
+
+def test_partition_channel_oneway_drops_only_senders_direction(lan):
+    from repro.faults.injection import partition_channel_oneway
+
+    partition_channel_oneway(lan.hub, 39000, lan.ip_a)
+    at_a, at_b = [], []
+    lan.a.udp.socket(39000).on_datagram = lambda payload, addr: at_a.append(payload)
+    lan.b.udp.socket(39000).on_datagram = lambda payload, addr: at_b.append(payload)
+    lan.a.udp.socket(5001).send_to((lan.ip_b, 39000), b"a-to-b")
+    lan.b.udp.socket(5002).send_to((lan.ip_a, 39000), b"b-to-a")
+    lan.sim.run(until=1.0)
+    assert at_b == []  # host a's channel frames are partitioned away
+    assert len(at_a) == 1  # the reverse direction still flows
+
+
+def test_power_kill_fault_fences_the_named_host(lan):
+    from repro.faults.injection import apply_drill_fault
+    from repro.sttcp.power_switch import PowerSwitch
+
+    switch = PowerSwitch(lan.sim, actuation_delay=0.010)
+
+    class Env:
+        sim = lan.sim
+        power_switch = switch
+        primary = lan.a
+        backup = lan.b
+
+    apply_drill_fault("power_kill", Env(), 0.5, host="backup")
+    lan.sim.run(until=0.505)
+    assert lan.b.is_up  # relay has not actuated yet
+    lan.sim.run(until=1.0)
+    assert not lan.b.is_up
+    assert lan.a.is_up
+    assert switch.cuts_performed == 1
+    assert lan.b.crashed_at == pytest.approx(0.510)
+
+
+def test_power_kill_fault_requires_a_power_switch(lan):
+    from repro.faults.injection import apply_drill_fault
+
+    class Env:
+        sim = lan.sim
+        power_switch = None
+        primary = lan.a
+
+    with pytest.raises(ValueError, match="power_kill.*power_switch"):
+        apply_drill_fault("power_kill", Env(), 1.0)

@@ -69,15 +69,26 @@ def test_connect_to_silent_host_times_out(lan):
 
 
 def test_lost_syn_is_retransmitted(lan):
-    lan.hub.loss_model = ScriptedLoss(drop_indices=[1])  # eat the first SYN
+    # Frames 1/2 are the ARP exchange (survivable by ARP retransmit
+    # alone); frame 3 is the first SYN.
+    lan.hub.loss_model = ScriptedLoss(drop_indices=[3])
     assert run_echo_once(lan) == b"ping"
     assert lan.sim.now >= 1.0  # paid one initial-RTO retransmission
 
 
 def test_lost_synack_recovers(lan):
-    # Second frame on the wire is the SYN/ACK.
+    # Fourth frame on the wire (after the ARP exchange and the SYN) is
+    # the SYN/ACK.
+    lan.hub.loss_model = ScriptedLoss(drop_indices=[4])
+    assert run_echo_once(lan) == b"ping"
+
+
+def test_lost_arp_reply_is_survived_by_retransmit(lan):
+    # Losing the ARP reply costs one ARP_RETRY_INTERVAL, not a failed
+    # resolution plus a TCP initial RTO.
     lan.hub.loss_model = ScriptedLoss(drop_indices=[2])
     assert run_echo_once(lan) == b"ping"
+    assert lan.sim.now < 1.0
 
 
 def test_orderly_close_reaches_closed_and_time_wait(lan):

@@ -7,7 +7,7 @@
   random crash times.
 """
 
-from hypothesis import HealthCheck, given, settings
+from hypothesis import HealthCheck, example, given, settings
 from hypothesis import strategies as st
 
 from repro.apps.workload import bulk_workload, echo_workload, upload_workload
@@ -108,6 +108,9 @@ def test_prop_sttcp_transparent_for_any_crash_time_upload(crash_fraction, seed):
     tap_loss=st.floats(0.0, 0.05),
     seed=st.integers(0, 2**16),
 )
+# The logger's ARP reply dying on the lossy tap once silenced gap
+# recovery entirely (no ARP retransmit, no query retry).
+@example(crash_fraction=0.90625, tap_loss=0.046875, seed=1338)
 def test_prop_sttcp_transparent_with_lossy_tap_and_crash(crash_fraction, tap_loss, seed):
     """Crash at any time *and* a lossy tap.
 

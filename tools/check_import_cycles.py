@@ -25,8 +25,17 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Set, Tuple
 
 #: Core packages and the packages they must never (transitively) import.
+#: The cluster fabric sits strictly above the engines: `repro.cluster`
+#: may import `repro.sttcp`/`repro.tcp`, never the reverse.
 LAYERING_RULES = {
-    "repro.tcp": ("repro.sttcp", "repro.obs", "repro.drill", "repro.harness"),
+    "repro.tcp": (
+        "repro.sttcp",
+        "repro.obs",
+        "repro.drill",
+        "repro.harness",
+        "repro.cluster",
+    ),
+    "repro.sttcp": ("repro.cluster",),
     "repro.sim": ("repro.tcp", "repro.sttcp", "repro.net"),
 }
 
