@@ -55,3 +55,75 @@ def test_trace_emit_flight_recorder(benchmark):
     benchmark.extra_info["events_per_sec"] = round(
         RECORDS / benchmark.stats.stats.mean
     )
+
+
+def test_tsdb_sampling_overhead(benchmark):
+    """Dispatch throughput with the TSDB sampling a populated registry.
+
+    The acceptance bound: sampling on the default cadence adds at most
+    5% over the identical run with no TSDB attached.  Both arms are
+    timed as best-of-rounds (min is the noise-robust statistic on a
+    shared runner); the gated ``events_per_sec`` additionally pins the
+    absolute throughput trajectory in ``BENCH_baseline.json``.
+    """
+    from repro.obs.timeseries import TimeSeriesDB
+    from repro.sim.simulator import Simulator
+
+    events = 50_000
+    step = 1e-5  # 50k events = 0.5 sim-s = 10 samples at the 50ms cadence
+
+    def build(with_tsdb):
+        sim = Simulator(seed=1)
+        # A populated registry: a few hosts' worth of instruments.
+        counters = [
+            sim.metrics.counter(f"h{h}.tcp.{name}")
+            for h in range(4)
+            for name in ("segments_in", "segments_out", "retransmits")
+        ]
+        for h in range(4):
+            sim.metrics.gauge(f"h{h}.tcp.inflight").set(3)
+            sim.metrics.histogram(f"h{h}.tcp.rtt").observe(0.01)
+        hot = counters[0]
+        remaining = [events]
+
+        def tick():
+            hot.inc()
+            remaining[0] -= 1
+            if remaining[0]:
+                sim.schedule(step, tick)
+
+        sim.schedule(0.0, tick)
+        tsdb = TimeSeriesDB(sim) if with_tsdb else None
+        if tsdb is not None:
+            tsdb.start()
+        return sim, tsdb
+
+    def drive(with_tsdb):
+        sim, _tsdb = build(with_tsdb)
+        sim.run(until=events * step + 1.0)
+        return sim.events_executed
+
+    executed = benchmark.pedantic(
+        drive, args=(True,), rounds=5, iterations=1, warmup_rounds=1
+    )
+    assert executed >= events
+    benchmark.extra_info["events_per_sec"] = round(
+        events / benchmark.stats.stats.mean
+    )
+
+    baseline_min = min(
+        _timed(drive, False) for _ in range(5)
+    )
+    overhead = benchmark.stats.stats.min / baseline_min - 1.0
+    benchmark.extra_info["tsdb_overhead_pct"] = round(overhead * 100, 2)
+    assert overhead <= 0.05, (
+        f"TSDB sampling overhead {overhead:.1%} exceeds the 5% budget"
+    )
+
+
+def _timed(fn, *args):
+    import time
+
+    start = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - start

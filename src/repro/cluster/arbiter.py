@@ -33,7 +33,7 @@ class ClusterArbiter:
         self.actuation_delay = actuation_delay
         #: Mutation hook: acknowledge fence requests without cutting power.
         self.sabotaged = False
-        self._queue: Deque[Tuple[Any, List[Done]]] = deque()
+        self._queue: Deque[Tuple[Any, List[Done], Optional[int]]] = deque()
         #: host id → pending done-callback list (for coalescing).
         self._pending: Dict[int, List[Done]] = {}
         self._busy = False
@@ -46,10 +46,9 @@ class ClusterArbiter:
         """Request a fence of ``host``; ``done`` fires once the relay has
         actuated that host's cut (or the coalesced one already in line)."""
         self.fence_requests += 1
-        if self.sim.trace.enabled_for("cluster"):
-            self.sim.trace.emit(
-                self.sim.now, "cluster", "fence_requested", host=host.name
-            )
+        trace = self.sim.trace
+        if trace.enabled_for("cluster"):
+            trace.emit(self.sim.now, "cluster", "fence_requested", host=host.name)
         waiters = self._pending.get(id(host))
         if waiters is not None:
             # Storm coalescing: this host is already queued or in flight.
@@ -59,7 +58,16 @@ class ClusterArbiter:
             return
         waiters = [] if done is None else [done]
         self._pending[id(host)] = waiters
-        self._queue.append((host, waiters))
+        # The requester's causal chain is captured *now* — the actuation
+        # lands in a later event, long after the requester's dynamic flow
+        # context is gone — so the fence span joins the right chain.
+        sid: Optional[int] = None
+        if trace.enabled_for("cluster"):
+            fields: Dict[str, Any] = {"host": host.name}
+            if trace.current_flow is not None:
+                fields["flow"] = trace.current_flow
+            sid = trace.begin_span(self.sim.now, "cluster", "fence", **fields)
+        self._queue.append((host, waiters, sid))
         self.max_queue_depth = max(self.max_queue_depth, len(self._queue))
         if not self._busy:
             self._actuate_next()
@@ -69,22 +77,28 @@ class ClusterArbiter:
             self._busy = False
             return
         self._busy = True
-        host, waiters = self._queue.popleft()
-        self.sim.schedule(self.actuation_delay, self._actuated, host, waiters)
+        host, waiters, sid = self._queue.popleft()
+        self.sim.schedule(self.actuation_delay, self._actuated, host, waiters, sid)
 
-    def _actuated(self, host: Any, waiters: List[Done]) -> None:
+    def _actuated(self, host: Any, waiters: List[Done], sid: Optional[int]) -> None:
         self._pending.pop(id(host), None)
         if self.sabotaged:
+            outcome = "sabotaged"
             if self.sim.trace.enabled_for("cluster"):
                 self.sim.trace.emit(
                     self.sim.now, "cluster", "fence_sabotaged", host=host.name
                 )
         else:
+            outcome = "fenced"
             if host.is_up:
                 host.crash()
             self.cuts_performed += 1
             if self.sim.trace.enabled_for("cluster"):
                 self.sim.trace.emit(self.sim.now, "cluster", "fenced", host=host.name)
+        if sid is not None:
+            self.sim.trace.end_span(
+                self.sim.now, "cluster", "fence", sid, outcome=outcome
+            )
         for done in waiters:
             done()
         self._actuate_next()

@@ -89,6 +89,10 @@ class ElectionCoordinator:
         self.report = ElectionReport()
         #: service name → the (ex-backup) engine that took it over.
         self.takeover_engines: dict = {}
+        #: Snapshot-sync latencies, for fleet percentile queries (TSDB /
+        #: SLO).  One registry-wide histogram: elections are fabric
+        #: events, not per-host ones.
+        self._h_election_sync = self.sim.metrics.histogram("cluster.election_sync")
         for node in fabric.backups:
             node.manager.on_takeover = (
                 lambda service, record, n=node: self._backup_consumed(n, service, record)
@@ -104,13 +108,18 @@ class ElectionCoordinator:
         orphaned = self.pool.consume(consumed.name)
         consumed.manager.release_service(service_name)
         if self.sim.trace.enabled_for("cluster"):
+            fields = {
+                "consumed": consumed.name,
+                "service": service_name,
+                "orphaned": len(orphaned),
+            }
+            # The hook runs synchronously inside the takeover event, so
+            # the backup's dynamic flow context is still set: the
+            # election joins the failover's causal chain.
+            if self.sim.trace.current_flow is not None:
+                fields["flow"] = self.sim.trace.current_flow
             self.sim.trace.emit(
-                self.sim.now,
-                "cluster",
-                "election_begin",
-                consumed=consumed.name,
-                service=service_name,
-                orphaned=len(orphaned),
+                self.sim.now, "cluster", "election_begin", **fields
             )
         # 1. Retire the siblings first: the consumed host must stop
         #    tapping/acking the orphaned primaries in this same instant.
@@ -177,8 +186,19 @@ class ElectionCoordinator:
             )
 
         shadow = self.fabric.attach_shadow(winner, service)
+        # The snapshot handoff spans from the sync request to the
+        # converged callback; its span carries the failover's flow id so
+        # the resync hop shows up in the causal chain.
+        resync_sid: Optional[int] = None
+        if self.sim.trace.enabled_for("cluster"):
+            fields = {"service": service.name, "backup": winner_name, "kind": kind}
+            if self.sim.trace.current_flow is not None:
+                fields["flow"] = self.sim.trace.current_flow
+            resync_sid = self.sim.trace.begin_span(
+                self.sim.now, "cluster", "resync", **fields
+            )
         shadow.engine.on_sync_done = (
-            lambda _engine, r=record: self._sync_finished(r)
+            lambda _engine, r=record, sid=resync_sid: self._sync_finished(r, sid)
         )
         shadow.engine.request_sync()
         if self.sim.trace.enabled_for("cluster"):
@@ -191,8 +211,17 @@ class ElectionCoordinator:
                 kind=kind,
             )
 
-    def _sync_finished(self, record: ElectionRecord) -> None:
+    def _sync_finished(
+        self, record: ElectionRecord, resync_sid: Optional[int] = None
+    ) -> None:
         record.sync_done_at = self.sim.now
+        latency = record.sync_latency
+        if latency is not None:
+            self._h_election_sync.observe(latency)
+        if resync_sid is not None:
+            self.sim.trace.end_span(
+                self.sim.now, "cluster", "resync", resync_sid, latency=latency
+            )
         if self.sim.trace.enabled_for("cluster"):
             self.sim.trace.emit(
                 self.sim.now,

@@ -33,10 +33,25 @@ from repro.cluster.scenario import ClusterSpec
 from repro.cluster.topology import SERVICE_PORT, ClusterFabric
 from repro.faults.injection import CrashInjector
 from repro.metrics import perf
-from repro.obs.timeline import TimelineCollector, reconstruct_failover
+from repro.obs.spans import causal_chains
+from repro.obs.timeline import (
+    TimelineCollector,
+    reconstruct_cluster_phases,
+    reconstruct_failover,
+)
+from repro.obs.timeseries import TimeSeriesDB
 
 #: Clients start this long after the service fabric comes up.
 CLIENT_START = 0.1
+
+#: TSDB sampling cadence for cluster runs — fine enough to catch the
+#: sub-100ms failover phases, cold enough to stay off every hot path.
+TSDB_INTERVAL = 0.025
+
+#: Histogram series whose percentile digests are embedded into the run
+#: record (the SLO engine reads records, possibly from the store's
+#: cache, so the digests must travel with them).
+TSDB_DIGEST_SERIES = ("cluster.election_sync",)
 
 #: Per-client spawn stagger, so N identical workloads don't run in
 #: artificial lockstep on the shared WAN hub.
@@ -64,6 +79,7 @@ class ClusterRun:
         self.coordinator = ElectionCoordinator(self.fabric, self.pool)
         self.monitor = DualPrimaryMonitor(self.fabric)
         self.collector = TimelineCollector().attach(self.sim.trace)
+        self.tsdb = TimeSeriesDB(self.sim, interval=TSDB_INTERVAL)
         self.crash_injector = CrashInjector(self.sim)
         self.results: Dict[str, Any] = {}
 
@@ -81,6 +97,7 @@ class ClusterRun:
         :class:`ServiceNode` the scenario's crash targets."""
         self.fabric.start_services()
         self.monitor.start()
+        self.tsdb.start()
         crashed = self.fabric.services[self.spec.crash_primary]
         if schedule_crash:
             self.crash_injector.crash_at(crashed.primary, self.spec.crash_at)
@@ -108,10 +125,16 @@ class ClusterRun:
         while not done() and sim.now < deadline:
             sim.run(until=sim.now + 0.050)
         self.monitor.stop()
+        self.tsdb.stop()
         perf.note_simulation(sim)
         return self._assemble(crashed)
 
     # Reporting ---------------------------------------------------------------------
+    def pair_timeline(self, service_name: str) -> Optional[Any]:
+        """Public per-service timeline (``repro timeline --scenario``)."""
+        service = self.fabric.service_by_name[service_name]
+        return self._pair_timeline(service.client.name)
+
     def _pair_timeline(self, client_name: str) -> Optional[Any]:
         """Reconstruct the failover phases from this pair's viewpoint:
         its own client's progress checkpoints, everyone's cold markers
@@ -194,6 +217,25 @@ class ClusterRun:
                 "dual_primary": self.monitor.summary(),
             },
         )
+        # Fabric-level phase decomposition + the takeover's causal chain
+        # (detection → fence → election → resync → resume), both from
+        # the collector's cold-path records.
+        cluster_phases = reconstruct_cluster_phases(self.collector.records)
+        chains = causal_chains(self.collector.records)
+        main_chain: List[Dict[str, Any]] = []
+        if chains:
+            main_flow = max(chains, key=lambda flow: (len(chains[flow]), -flow))
+            main_chain = chains[main_flow]
+
+        # Percentile digests travel inside the record: the SLO engine may
+        # be fed a cached record from the store, long after this TSDB
+        # object is gone.
+        digests = {
+            name: self.tsdb.digest(name)
+            for name in TSDB_DIGEST_SERIES
+            if self.tsdb.series(name) is not None
+        }
+
         arbiter = self.fabric.arbiter
         return {
             "scenario": spec.name,
@@ -229,6 +271,11 @@ class ClusterRun:
             },
             "invariants": invariants.to_record(),
             "timelines": timelines,
+            "cluster_phases": (
+                cluster_phases.summary() if cluster_phases is not None else None
+            ),
+            "causal": {"flows": len(chains), "chain": main_chain},
+            "tsdb": {"summary": self.tsdb.summary(), "digests": digests},
             "pairs": pairs,
             "sim_seconds": self.sim.now,
             "sim_events": self.sim.events_executed,

@@ -110,6 +110,33 @@ def _export(records: List[Dict[str, Any]], args: argparse.Namespace) -> None:
         print(f"wrote {path}")
 
 
+def _build_scorecard(
+    records: List[Dict[str, Any]],
+    name_of: Any,
+    slo_source: Any,
+    title: str,
+):
+    """Grade each record against the SLO spec; returns the Scorecard."""
+    from repro.obs.scorecard import Scorecard, score_record
+    from repro.obs.slo import evaluate_slos, load_slo_spec
+
+    spec = load_slo_spec(slo_source)
+    card = Scorecard(title=title)
+    for record in records:
+        report = evaluate_slos(spec, record)
+        card.scores.append(score_record(name_of(record), record, report))
+    return spec, card
+
+
+def _publish_scorecard(card: Any, out_dir: str) -> None:
+    from pathlib import Path
+
+    from repro.obs.scorecard import write_scorecard
+
+    md_path, json_path = write_scorecard(card, Path(out_dir))
+    print(f"wrote {md_path} and {json_path}", file=sys.stderr)
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     records = _run(
         "table1",
@@ -201,6 +228,14 @@ def _cmd_scale(args: argparse.Namespace) -> int:
     ).rows
     print(format_scale(records))
     _export(records, args)
+    if getattr(args, "scorecard", None):
+        _spec, card = _build_scorecard(
+            records,
+            name_of=lambda r: f"scale-{r['connections']}",
+            slo_source=args.slo or "configs/slo/scale.json",
+            title="repro scale scorecard",
+        )
+        _publish_scorecard(card, args.scorecard)
     clean = all(
         record["verified"]
         and not record["degraded"]
@@ -222,7 +257,60 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             print(f"\n{record['scenario']}: per-pair timelines")
             for pair, timeline in sorted(record["timelines"].items()):
                 print(f"  {pair}: {timeline}")
+    if getattr(args, "scorecard", None):
+        _spec, card = _build_scorecard(
+            records,
+            name_of=lambda r: r["scenario"],
+            slo_source=args.slo or "configs/slo/cluster.json",
+            title="repro cluster scorecard",
+        )
+        _publish_scorecard(card, args.scorecard)
     return 0 if all(record["ok"] for record in records) else 1
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    """Run cluster scenarios, grade them against an SLO spec, and publish
+    the Markdown + JSON scorecard (docs/OBSERVABILITY.md)."""
+    from repro.harness.results import cell_key
+    from repro.harness.spec import GridCell
+
+    scenarios = args.scenario if args.scenario else list(DEFAULT_SCENARIOS)
+    records = _run("cluster", args, scenarios=scenarios).rows
+    slo_spec, card = _build_scorecard(
+        records,
+        name_of=lambda r: r["scenario"],
+        slo_source=args.slo,
+        title=f"repro health scorecard — SLO spec '{args.slo}'",
+    )
+    print(card.render_markdown())
+    _publish_scorecard(card, args.out)
+    store = _store_from_args(args)
+    if store is not None:
+        # Content-hash each scenario's score into the store: the params
+        # carry the full SLO spec, so editing an objective (or the code
+        # version changing) re-keys the entry instead of serving a stale
+        # verdict.
+        slo_params = [
+            {
+                "name": s.name,
+                "sli": s.sli,
+                "objective": s.objective,
+                "window": s.window,
+            }
+            for s in slo_spec.slos
+        ]
+        for score in card.scores:
+            cell = GridCell(
+                experiment="health",
+                cell_id=f"health[{score.name}]",
+                params={"slo_spec": slo_spec.name, "slos": slo_params,
+                        "scenario": score.name},
+                seed=0,
+            )
+            key = cell_key(cell)
+            if store.get(key) is None:
+                store.append(cell, score.to_record(), key=key)
+    return 0 if card.ok else 1
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -277,7 +365,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_timeline(args: argparse.Namespace) -> int:
     """Phase decomposition of one failover (detection → takeover →
-    first-retransmission-accepted → resume), Figure 5-style run."""
+    first-retransmission-accepted → resume), Figure 5-style run — or,
+    with --scenario, per-service timelines plus the cluster-level
+    fence → election → resync phases of one scenario."""
+    if getattr(args, "scenario", None):
+        return _cmd_timeline_cluster(args)
     from repro.apps.workload import echo_workload
     from repro.harness.runner import CLIENT_START, DEFAULT_CRASH_FRACTION, run_workload
     from repro.sttcp.config import STTCPConfig
@@ -302,6 +394,41 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
         f"{failed.result.max_gap * 1e3:.1f} ms"
     )
     return 0
+
+
+def _cmd_timeline_cluster(args: argparse.Namespace) -> int:
+    """Per-service timelines + cluster phases for one scenario run."""
+    from repro.cluster.run import ClusterRun
+    from repro.harness.experiments.cluster import resolve_scenario
+
+    spec = resolve_scenario(args.scenario)
+    run = ClusterRun(spec)
+    record = run.execute()
+    print(
+        f"cluster scenario '{record['scenario']}' "
+        f"({spec.primaries} primaries / {spec.backups} pool hosts): "
+        f"crashed {record['crashed_service']} at t={record['crash_at']:g}"
+    )
+    for service in run.fabric.services:
+        print(f"\n{service.name}:")
+        timeline = (
+            run.pair_timeline(service.name)
+            if service.name == record["crashed_service"]
+            else None
+        )
+        if timeline is not None:
+            for line in timeline.render().splitlines():
+                print(f"  {line}")
+        else:
+            summary = record["timelines"].get(service.name) or {}
+            gap = summary.get("max_gap")
+            gap_text = f"{gap * 1e3:.1f} ms" if gap is not None else "unknown"
+            print(f"  no takeover on this pair; max progress gap {gap_text}")
+    phases = run.collector.reconstruct_cluster()
+    if phases is not None:
+        print()
+        print(phases.render())
+    return 0 if record["ok"] else 1
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -412,6 +539,18 @@ def build_parser() -> argparse.ArgumentParser:
         f"(default {','.join(map(str, DEFAULT_LADDER))}; "
         f"--quick uses {','.join(map(str, SMOKE_LADDER))})",
     )
+    scale.add_argument(
+        "--scorecard",
+        metavar="DIR",
+        help="grade the rungs against an SLO spec and write the "
+        "Markdown+JSON scorecard into DIR",
+    )
+    scale.add_argument(
+        "--slo",
+        metavar="PATH",
+        default=None,
+        help="SLO spec for --scorecard (default configs/slo/scale.json)",
+    )
     scale.set_defaults(fn=_cmd_scale)
 
     cluster = sub.add_parser(
@@ -432,7 +571,47 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the per-pair failover timelines after the table",
     )
+    cluster.add_argument(
+        "--scorecard",
+        metavar="DIR",
+        help="grade the scenarios against an SLO spec and write the "
+        "Markdown+JSON scorecard into DIR",
+    )
+    cluster.add_argument(
+        "--slo",
+        metavar="PATH",
+        default=None,
+        help="SLO spec for --scorecard (default configs/slo/cluster.json)",
+    )
     cluster.set_defaults(fn=_cmd_cluster)
+
+    health = sub.add_parser(
+        "health",
+        help="scenario scorecard: SLO verdicts, grades, phase breakdowns "
+        "(docs/OBSERVABILITY.md)",
+    )
+    common(health)
+    health.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME_OR_PATH",
+        help="scenario to grade: a shipped name "
+        f"({', '.join(DEFAULT_SCENARIOS)}) or a JSON file path; "
+        "repeatable (default: all shipped scenarios)",
+    )
+    health.add_argument(
+        "--slo",
+        metavar="PATH",
+        default="configs/slo/cluster.json",
+        help="SLO spec to evaluate (default configs/slo/cluster.json)",
+    )
+    health.add_argument(
+        "--out",
+        metavar="DIR",
+        default="health",
+        help="directory for scorecard.md / scorecard.json (default health/)",
+    )
+    health.set_defaults(fn=_cmd_health)
 
     trace = sub.add_parser(
         "trace", help="a traced failover: client tcpdump or Chrome trace export"
@@ -459,6 +638,12 @@ def build_parser() -> argparse.ArgumentParser:
     timeline.add_argument("--exchanges", type=int, default=40)
     timeline.add_argument("--hb", type=float, default=0.05, help="heartbeat interval (s)")
     timeline.add_argument("--seed", type=int, default=7)
+    timeline.add_argument(
+        "--scenario",
+        metavar="NAME_OR_PATH",
+        help="decompose a cluster scenario instead: per-service timelines "
+        "plus the fence → election → resync phases",
+    )
     timeline.set_defaults(fn=_cmd_timeline)
 
     demo = sub.add_parser("demo", help="one measured failover, as a table")

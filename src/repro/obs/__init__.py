@@ -1,34 +1,63 @@
 """repro.obs — the unified observability layer.
 
-Four pieces (see docs/OBSERVABILITY.md):
+Seven pieces (see docs/OBSERVABILITY.md):
 
 * :mod:`repro.obs.registry` — named counters/gauges/histograms with O(1)
   hot-path increments, per-host scoping and delta snapshots;
+* :mod:`repro.obs.timeseries` — the sim-time TSDB: bounded ring-buffer
+  series sampled from the registry on a sim-time cadence, with counter
+  rate derivation and windowed histogram percentile queries;
 * :mod:`repro.obs.spans` — reassembles the Tracer's span begin/end
   records into timed units (handshakes, retransmission bursts,
-  failovers);
+  failovers) and causal chains (cross-host ``flow`` links);
 * :mod:`repro.obs.recorder` — the flight recorder: an always-cheap
   bounded ring buffer of the last N trace records, dumped automatically
   when a run goes red;
 * :mod:`repro.obs.timeline` / :mod:`repro.obs.export` — the paper's
-  failover phase decomposition, plus Chrome trace-event (Perfetto) and
-  JSONL export of any trace.
+  failover phase decomposition (per-pair and cluster-level), plus
+  Chrome trace-event (Perfetto, including flow arrows) and JSONL export
+  of any trace;
+* :mod:`repro.obs.slo` — the declarative SLO engine: JSON specs under
+  ``configs/slo/`` evaluated against run records with burn-rate
+  verdicts;
+* :mod:`repro.obs.scorecard` — per-scenario health grades rendered to
+  Markdown + JSON (the ``repro health`` artefact).
 """
 
 from repro.obs.recorder import FlightRecorder
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
-from repro.obs.spans import Span, assemble_spans
-from repro.obs.timeline import FailoverTimeline, TimelineCollector, reconstruct_failover
+from repro.obs.scorecard import Scorecard, grade_record, score_record
+from repro.obs.slo import SLOReport, SLOSpec, evaluate_slos, load_slo_spec
+from repro.obs.spans import Span, assemble_spans, causal_chains
+from repro.obs.timeline import (
+    ClusterPhases,
+    FailoverTimeline,
+    TimelineCollector,
+    reconstruct_cluster_phases,
+    reconstruct_failover,
+)
+from repro.obs.timeseries import TimeSeriesDB
 
 __all__ = [
+    "ClusterPhases",
     "Counter",
     "FailoverTimeline",
     "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "SLOReport",
+    "SLOSpec",
+    "Scorecard",
     "Span",
+    "TimeSeriesDB",
     "TimelineCollector",
     "assemble_spans",
+    "causal_chains",
+    "evaluate_slos",
+    "grade_record",
+    "load_slo_spec",
+    "reconstruct_cluster_phases",
     "reconstruct_failover",
+    "score_record",
 ]

@@ -9,6 +9,10 @@ The Chrome trace-event format is the lingua franca of timeline viewers —
 * spans still open at end of trace → ``"B"`` begin events (the viewer
   draws them to the end of the timeline);
 * ordinary records → ``"i"`` instant events;
+* causal chains (spans sharing a ``flow`` id, see
+  :meth:`repro.obs.spans.SpanSet.flows`) → ``"s"``/``"t"``/``"f"`` flow
+  events anchored at each member span's begin, so the viewer draws
+  arrows detection → fence → election → resync → resume across tracks;
 * track naming → one ``pid`` per trace ("repro"), one ``tid`` per record
   category, labelled via ``"M"`` metadata events.
 
@@ -72,18 +76,40 @@ def chrome_trace_events(records: List[TraceRecord]) -> List[Dict[str, Any]]:
         )
 
     for span in span_set.spans:
+        args = _json_fields(span.fields)
+        if span.flow is not None:
+            args["flow"] = span.flow
         base = {
             "name": span.name,
             "cat": span.category,
             "pid": TRACE_PID,
             "tid": tid_of.get(span.category, 0),
             "ts": span.begin * 1e6,
-            "args": _json_fields(span.fields),
+            "args": args,
         }
         if span.open:
             events.append({**base, "ph": "B"})
         else:
             events.append({**base, "ph": "X", "dur": (span.end - span.begin) * 1e6})
+
+    # Causal chains as flow arrows: start on the first member span, step
+    # on intermediates, finish (binding to the enclosing slice) on the
+    # last — one arrow sequence per flow id, across category tracks.
+    for flow_id, chain in sorted(span_set.flows().items()):
+        last = len(chain) - 1
+        for index, span in enumerate(chain):
+            event: Dict[str, Any] = {
+                "name": f"flow-{flow_id}",
+                "cat": span.category,
+                "ph": "s" if index == 0 else ("f" if index == last else "t"),
+                "id": flow_id,
+                "pid": TRACE_PID,
+                "tid": tid_of.get(span.category, 0),
+                "ts": span.begin * 1e6,
+            }
+            if event["ph"] == "f":
+                event["bp"] = "e"
+            events.append(event)
 
     for record in records:
         if is_span_record(record):

@@ -69,6 +69,37 @@ DEFAULT_BOUNDS: Tuple[float, ...] = (
 )
 
 
+def bucket_quantile(
+    bounds: Tuple[float, ...],
+    bucket_counts: List[int],
+    q: float,
+    observed_max: Optional[float] = None,
+) -> Optional[float]:
+    """Approximate quantile from a fixed-bucket digest.
+
+    Returns the upper bound of the bucket holding the q-th observation,
+    clamped to ``observed_max`` when known — so a single-sample p99 is
+    the sample itself (not its bucket's ceiling) and the overflow bucket
+    reports the real maximum instead of ``inf``.  Shared by
+    :meth:`Histogram.quantile` and the TSDB's windowed digest queries
+    (:mod:`repro.obs.timeseries`), which subtract two cumulative digests
+    and pass the difference here.
+    """
+    total = sum(bucket_counts)
+    if total <= 0:
+        return None
+    target = q * total
+    seen = 0
+    for index, bucket_count in enumerate(bucket_counts):
+        seen += bucket_count
+        if seen >= target and bucket_count:
+            if index < len(bounds):
+                bound = float(bounds[index])
+                return min(bound, observed_max) if observed_max is not None else bound
+            break  # the overflow bucket has no upper bound
+    return observed_max if observed_max is not None else float("inf")
+
+
 class Histogram:
     """Fixed-bucket histogram: one bisect + one add per observation."""
 
@@ -101,18 +132,10 @@ class Histogram:
 
     def quantile(self, q: float) -> Optional[float]:
         """Approximate quantile: the upper bound of the bucket holding
-        the q-th observation (``inf`` for the overflow bucket)."""
-        if not self.count:
-            return None
-        target = q * self.count
-        seen = 0
-        for index, bucket_count in enumerate(self.bucket_counts):
-            seen += bucket_count
-            if seen >= target and bucket_count:
-                if index < len(self.bounds):
-                    return self.bounds[index]
-                return float("inf")
-        return float("inf")  # pragma: no cover - q > 1 defensive
+        the q-th observation, clamped to the observed maximum (a
+        single-sample p99 is the sample, never its bucket's ceiling or
+        ``inf``)."""
+        return bucket_quantile(self.bounds, self.bucket_counts, q, self.max)
 
     def summary(self) -> Dict[str, Any]:
         return {
@@ -209,11 +232,23 @@ class MetricsRegistry:
             if isinstance(instrument, Counter):
                 baseline = previous if isinstance(previous, (int, float)) else 0
                 if instrument.value != baseline:
-                    out[name] = instrument.value - baseline
+                    # A value below the baseline means the counter was
+                    # reset (host teardown, engine replacement): report
+                    # the post-reset count, never a negative delta that
+                    # would claim events un-happened.
+                    out[name] = (
+                        instrument.value - baseline
+                        if instrument.value >= baseline
+                        else instrument.value
+                    )
             elif isinstance(instrument, Histogram):
                 baseline = previous["count"] if isinstance(previous, dict) else 0
                 if instrument.count != baseline:
-                    out[name] = instrument.count - baseline
+                    out[name] = (
+                        instrument.count - baseline
+                        if instrument.count >= baseline
+                        else instrument.count
+                    )
             else:  # Gauge: report the new level, not a difference
                 if instrument.value != previous:
                     out[name] = instrument.value

@@ -10,6 +10,14 @@ Malformed streams are data, not errors: a crash mid-span leaves an open
 span (``end is None``), an end without a begin is reported as an orphan,
 and both survive assembly so diagnosis tools can show exactly what the
 simulation managed to record before it died.
+
+**Causal flows.**  Parent/child links only express nesting on one
+emitter; a cluster takeover hops *across* hosts — the backup detects,
+the arbiter fences, the coordinator elects, replacement shadows resync.
+Those spans carry the reserved ``flow`` field (one id per causal chain,
+see :data:`repro.sim.trace.FLOW_KEY`); :meth:`SpanSet.flows` groups them
+back into begin-ordered chains and :mod:`repro.obs.export` renders each
+chain as Chrome trace-event flow arrows.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.sim.trace import (
+    FLOW_KEY,
     SPAN_BEGIN,
     SPAN_END,
     SPAN_ID_KEY,
@@ -37,6 +46,7 @@ class Span:
     begin: float
     end: Optional[float] = None
     parent: Optional[int] = None
+    flow: Optional[int] = None
     fields: Dict[str, Any] = field(default_factory=dict)
     children: List["Span"] = field(default_factory=list)
 
@@ -75,6 +85,23 @@ class SpanSet:
                 return span
         return None
 
+    def flows(self) -> Dict[int, List[Span]]:
+        """Causal chains: flow id → member spans, in begin order.
+
+        Each chain is one cross-host causal episode (a cluster takeover:
+        detection → fence → election → resync → resume); begin order is
+        causal order because the sim is single-threaded.
+        """
+        chains: Dict[int, List[Span]] = {}
+        for span in self.spans:
+            if span.flow is not None:
+                chains.setdefault(span.flow, []).append(span)
+        return chains
+
+    def flow_of(self, flow: int) -> List[Span]:
+        """Members of one causal chain (empty if the id is unknown)."""
+        return [s for s in self.spans if s.flow == flow]
+
 
 def is_span_record(record: TraceRecord) -> bool:
     return SPAN_KEY in record.fields
@@ -105,7 +132,7 @@ def assemble_spans(records: Iterable[TraceRecord]) -> SpanSet:
             extra = {
                 k: v
                 for k, v in record.fields.items()
-                if k not in (SPAN_KEY, SPAN_ID_KEY, SPAN_PARENT_KEY)
+                if k not in (SPAN_KEY, SPAN_ID_KEY, SPAN_PARENT_KEY, FLOW_KEY)
             }
             span = Span(
                 sid=sid,
@@ -113,6 +140,7 @@ def assemble_spans(records: Iterable[TraceRecord]) -> SpanSet:
                 name=record.event,
                 begin=record.time,
                 parent=record.fields.get(SPAN_PARENT_KEY),
+                flow=record.fields.get(FLOW_KEY),
                 fields=extra,
             )
             spans.append(span)
@@ -125,8 +153,10 @@ def assemble_spans(records: Iterable[TraceRecord]) -> SpanSet:
             if span.end is None:
                 span.end = record.time
                 for k, v in record.fields.items():
-                    if k not in (SPAN_KEY, SPAN_ID_KEY, SPAN_PARENT_KEY):
+                    if k not in (SPAN_KEY, SPAN_ID_KEY, SPAN_PARENT_KEY, FLOW_KEY):
                         span.fields[k] = v
+                if span.flow is None:
+                    span.flow = record.fields.get(FLOW_KEY)
         else:
             orphan_ends.append(record)
 
@@ -138,6 +168,55 @@ def assemble_spans(records: Iterable[TraceRecord]) -> SpanSet:
         else:
             roots.append(span)
     return SpanSet(spans=spans, roots=roots, orphan_ends=orphan_ends)
+
+
+def causal_chains(
+    records: Iterable[TraceRecord],
+) -> Dict[int, List[Dict[str, Any]]]:
+    """Flow id → time-ordered node summaries, spans *and* instants.
+
+    :meth:`SpanSet.flows` covers spans only; a chain's terminal node is
+    often an instant record (``failover/first_ack``, the client's stream
+    resuming).  This merges both into JSON-ready node dicts — ``kind``
+    ``"span"`` (with ``begin``/``end``/``duration``) or ``"event"``
+    (with ``time``) — suitable for run records and drill attachments.
+    """
+    records = list(records)
+    span_set = assemble_spans(records)
+    span_of_sid = {span.sid: span for span in span_set.spans}
+    chains: Dict[int, List[Dict[str, Any]]] = {}
+    # One pass in stream order: the sim is single-threaded, so stream
+    # order *is* causal order, including ties at the same sim time.
+    for record in records:
+        flow = record.fields.get(FLOW_KEY)
+        if not isinstance(flow, int):
+            continue
+        if is_span_record(record):
+            if record.fields.get(SPAN_KEY) != SPAN_BEGIN:
+                continue  # the begin record already placed this span
+            span = span_of_sid.get(record.fields.get(SPAN_ID_KEY))
+            if span is None or span.flow != flow:
+                continue
+            chains.setdefault(flow, []).append(
+                {
+                    "kind": "span",
+                    "category": span.category,
+                    "name": span.name,
+                    "begin": span.begin,
+                    "end": span.end,
+                    "duration": span.duration,
+                }
+            )
+        else:
+            chains.setdefault(flow, []).append(
+                {
+                    "kind": "event",
+                    "category": record.category,
+                    "name": record.event,
+                    "time": record.time,
+                }
+            )
+    return dict(sorted(chains.items()))
 
 
 def render_span_tree(span_set: SpanSet) -> str:

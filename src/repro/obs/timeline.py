@@ -38,7 +38,12 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.sim.trace import TraceRecord, Tracer
 
 #: Categories the collector subscribes to — cold paths only.
-TIMELINE_CATEGORIES = ("host", "sttcp", "app", "failover")
+TIMELINE_CATEGORIES = ("host", "sttcp", "app", "failover", "cluster")
+
+#: Cluster-level phase names (fabric work around the per-pair failover).
+PHASE_FENCE = "fence"
+PHASE_ELECTION = "election"
+PHASE_RESYNC = "resync"
 
 #: Phase names, in order (recovery replaces rto_wait+resume when the
 #: first-retransmission marker is unavailable).
@@ -144,6 +149,9 @@ class TimelineCollector:
     def reconstruct(self) -> Optional[FailoverTimeline]:
         return reconstruct_failover(self.records)
 
+    def reconstruct_cluster(self) -> Optional["ClusterPhases"]:
+        return reconstruct_cluster_phases(self.records)
+
 
 def _first(
     records: List[TraceRecord], category: str, event: str, at_or_after: float = 0.0
@@ -203,3 +211,114 @@ def reconstruct_failover(records: List[TraceRecord]) -> Optional[FailoverTimelin
         phases=phases,
         events=events,
     )
+
+
+@dataclass
+class ClusterPhases:
+    """Fabric-level phase decomposition of a cluster takeover.
+
+    The per-pair :class:`FailoverTimeline` explains the *client's* view;
+    this explains the *fleet's*: when the arbiter fenced the suspect
+    (fence → STONITH actuation), when the coordinator elected replacement
+    backups, and when each replacement shadow finished resyncing.  Phases
+    may overlap — elections begin while the fence actuation is still
+    queued — so they are reported as absolute windows, not a stack.
+    """
+
+    phases: List[Phase]
+    #: (time, label) point annotations (per-service elections, syncs).
+    events: List[Tuple[float, str]] = field(default_factory=list)
+
+    def phase(self, name: str) -> Optional[Phase]:
+        for phase in self.phases:
+            if phase.name == name:
+                return phase
+        return None
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-ready summary for the cluster run record."""
+        return {
+            "phases": {
+                p.name: {"start": p.start, "end": p.end, "duration": p.duration}
+                for p in self.phases
+            },
+            "events": [[time, label] for time, label in self.events],
+        }
+
+    def render(self) -> str:
+        """Text rendering, one line per phase, annotations interleaved."""
+        lines = ["cluster phases:"]
+        width = max(
+            (len(p.name) for p in self.phases),
+            default=8,
+        )
+        rows: List[Tuple[float, str]] = []
+        for phase in self.phases:
+            rows.append(
+                (
+                    phase.start,
+                    f"  phase {phase.name:<{width}} {phase.start:.6f} → "
+                    f"{phase.end:.6f}  ({phase.duration * 1e3:9.3f} ms)",
+                )
+            )
+        for time, label in self.events:
+            rows.append((time, f"  event {label:<{width}} {time:.6f}"))
+        rows.sort(key=lambda row: row[0])
+        lines.extend(text for _, text in rows)
+        return "\n".join(lines)
+
+
+def reconstruct_cluster_phases(
+    records: List[TraceRecord],
+) -> Optional[ClusterPhases]:
+    """Derive fence → election → resync windows from cluster records.
+
+    Anchors (all cold-path ``cluster`` category, emitted by the arbiter
+    and the election coordinator):
+
+    ==========================  =======================================
+    record                      meaning
+    ==========================  =======================================
+    cluster/fence_requested     STONITH requested for a suspect host
+    cluster/fenced              the actuation landed (power cut)
+    cluster/election_begin      a takeover consumed a pool backup
+    cluster/elected             a replacement backup won its election
+    cluster/shadow_converged    a replacement shadow finished resync
+    ==========================  =======================================
+
+    Returns None when no fence was ever requested and no election began
+    (the stream is not a cluster takeover).
+    """
+    def times(event: str) -> List[float]:
+        return [
+            r.time
+            for r in records
+            if r.category == "cluster" and r.event == event
+        ]
+
+    fence_requests = times("fence_requested")
+    fenced = times("fenced")
+    election_begins = times("election_begin")
+    elected = times("elected") + times("election_exhausted")
+    converged = times("shadow_converged")
+    if not fence_requests and not election_begins:
+        return None
+
+    phases: List[Phase] = []
+    events: List[Tuple[float, str]] = []
+    if fence_requests:
+        fence_end = max(fenced) if fenced else max(fence_requests)
+        phases.append(Phase(PHASE_FENCE, min(fence_requests), fence_end))
+        for time in fenced:
+            events.append((time, "fenced"))
+    if election_begins:
+        election_end = max(elected) if elected else max(election_begins)
+        phases.append(Phase(PHASE_ELECTION, min(election_begins), election_end))
+        for time in elected:
+            events.append((time, "elected"))
+        if converged:
+            resync_start = min(elected) if elected else min(election_begins)
+            phases.append(Phase(PHASE_RESYNC, resync_start, max(converged)))
+            for time in converged:
+                events.append((time, "shadow_converged"))
+    return ClusterPhases(phases=phases, events=events)

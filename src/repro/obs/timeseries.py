@@ -1,0 +1,334 @@
+"""Sim-time TSDB: bounded ring-buffer series sampled from the registry.
+
+The metrics registry (:mod:`repro.obs.registry`) answers "what is the
+value *now*"; fleet questions — "what was the ACK rate while the arbiter
+queue was deep", "what is takeover-time p99 across this storm" — need
+values *over time*.  :class:`TimeSeriesDB` closes that gap without
+touching any hot path:
+
+* it samples the whole registry (optionally one prefix) on a fixed
+  **sim-time** cadence via an ordinary scheduled callback — per-event
+  costs stay exactly zero, and for a fixed seed the sample times and
+  values are identical run to run (byte-identical ``to_json``, tested in
+  ``tests/obs/test_timeseries.py``);
+* each instrument becomes one :class:`TimeSeries` ring buffer bounded at
+  ``capacity`` points, so memory is O(instruments × capacity) no matter
+  how long the run;
+* counters get **rate derivation** (:meth:`TimeSeriesDB.rate`), with a
+  value below its predecessor read as a counter reset (host teardown,
+  engine replacement) rather than a negative rate;
+* histograms are stored as cumulative fixed-bucket digests; windowed
+  percentile queries (:meth:`TimeSeriesDB.percentile`, p50/p95/p99 …)
+  subtract two digests and reuse
+  :func:`repro.obs.registry.bucket_quantile`.
+
+Per-host scoping rides on the registry's ``<host>.<layer>.<name>``
+convention: :meth:`TimeSeriesDB.hosts` lists the first-component scopes,
+and any query accepts the fully scoped series name.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.obs.registry import Counter, Gauge, Histogram, bucket_quantile
+
+#: Default sampling cadence (sim seconds).
+DEFAULT_INTERVAL = 0.050
+
+#: Default ring capacity per series (points retained).
+DEFAULT_CAPACITY = 512
+
+KIND_COUNTER = "counter"
+KIND_GAUGE = "gauge"
+KIND_HISTOGRAM = "histogram"
+
+#: A histogram sample: (observation count, observed max, cumulative
+#: bucket counts).  Cumulative digests subtract cleanly for windows.
+HistSample = Tuple[int, Optional[float], Tuple[int, ...]]
+
+
+class TimeSeries:
+    """One instrument's bounded sample ring (times and values)."""
+
+    __slots__ = ("name", "kind", "bounds", "times", "values", "total_samples")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        capacity: int,
+        bounds: Optional[Tuple[float, ...]] = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.bounds = bounds  # histogram series only
+        self.times: Deque[float] = deque(maxlen=capacity)
+        self.values: Deque[Any] = deque(maxlen=capacity)
+        self.total_samples = 0
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def dropped(self) -> int:
+        """Samples evicted because the ring wrapped."""
+        return self.total_samples - len(self.times)
+
+    def add(self, time: float, value: Any) -> None:
+        self.times.append(time)
+        self.values.append(value)
+        self.total_samples += 1
+
+    def latest(self) -> Optional[Tuple[float, Any]]:
+        if not self.times:
+            return None
+        return self.times[-1], self.values[-1]
+
+    def at_or_before(self, time: float) -> Optional[Tuple[float, Any]]:
+        """The newest retained sample taken at or before ``time``."""
+        best: Optional[Tuple[float, Any]] = None
+        for t, v in zip(self.times, self.values):
+            if t > time:
+                break
+            best = (t, v)
+        return best
+
+    def points(self) -> List[Tuple[float, Any]]:
+        """Retained (time, value) pairs, oldest first."""
+        return list(zip(self.times, self.values))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<TimeSeries {self.name} ({self.kind}) n={len(self)}>"
+
+
+class TimeSeriesDB:
+    """Registry sampler + query surface (see module docstring).
+
+    Attach to a simulator, :meth:`start` before the run, :meth:`stop`
+    after (or let the run end; sampling events past the horizon are
+    simply never executed).  All queries are valid mid-run.
+    """
+
+    def __init__(
+        self,
+        sim: Any,
+        interval: float = DEFAULT_INTERVAL,
+        capacity: int = DEFAULT_CAPACITY,
+        prefix: str = "",
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("TSDB sampling interval must be positive")
+        if capacity <= 0:
+            raise ValueError("TSDB series capacity must be positive")
+        self.sim = sim
+        self.registry = sim.metrics
+        self.interval = interval
+        self.capacity = capacity
+        self.prefix = prefix
+        self.samples_taken = 0
+        self._series: Dict[str, TimeSeries] = {}
+        self._running = False
+
+    # Sampling --------------------------------------------------------------
+    def start(self) -> "TimeSeriesDB":
+        """Take one sample now and keep sampling every ``interval``."""
+        self._running = True
+        self.sample()
+        self.sim.schedule(self.interval, self._tick)
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.sample()
+        self.sim.schedule(self.interval, self._tick)
+
+    def sample(self) -> None:
+        """Sample every registry instrument (under ``prefix``) once.
+
+        Instruments registered after earlier samples simply start their
+        series late — a series' first point is its instrument's birth as
+        seen by the cadence.
+        """
+        now = self.sim.now
+        self.samples_taken += 1
+        for name in self.registry.names(self.prefix):
+            instrument = self.registry.get(name)
+            series = self._series.get(name)
+            if isinstance(instrument, Histogram):
+                if series is None:
+                    series = self._make(name, KIND_HISTOGRAM, instrument.bounds)
+                value: Any = (
+                    instrument.count,
+                    instrument.max,
+                    tuple(instrument.bucket_counts),
+                )
+            elif isinstance(instrument, Counter):
+                if series is None:
+                    series = self._make(name, KIND_COUNTER)
+                value = instrument.value
+            elif isinstance(instrument, Gauge):
+                if series is None:
+                    series = self._make(name, KIND_GAUGE)
+                value = instrument.value
+            else:  # pragma: no cover - future instrument kinds
+                continue
+            series.add(now, value)
+
+    def _make(
+        self, name: str, kind: str, bounds: Optional[Tuple[float, ...]] = None
+    ) -> TimeSeries:
+        series = TimeSeries(name, kind, self.capacity, bounds)
+        self._series[name] = series
+        return series
+
+    # Introspection ---------------------------------------------------------
+    def names(self, prefix: str = "") -> List[str]:
+        return sorted(n for n in self._series if n.startswith(prefix))
+
+    def series(self, name: str) -> Optional[TimeSeries]:
+        return self._series.get(name)
+
+    def hosts(self) -> List[str]:
+        """First dotted components — the per-host scopes of the fleet."""
+        return sorted({name.split(".", 1)[0] for name in self._series if "." in name})
+
+    def latest(self, name: str, default: Any = None) -> Any:
+        series = self._series.get(name)
+        if series is None:
+            return default
+        point = series.latest()
+        return default if point is None else point[1]
+
+    # Derived queries -------------------------------------------------------
+    def rate(self, name: str, window: Optional[float] = None) -> Optional[float]:
+        """Counter increments per sim-second.
+
+        ``window=None`` uses the last two samples (instantaneous rate);
+        otherwise the rate is averaged from the newest retained sample at
+        or before ``now - window``.  A counter observed *below* its
+        earlier value was reset (host teardown): the rate restarts from
+        zero instead of going negative.
+        """
+        series = self._series.get(name)
+        if series is None or series.kind != KIND_COUNTER or len(series) < 2:
+            return None
+        t1, v1 = series.times[-1], series.values[-1]
+        if window is None:
+            t0, v0 = series.times[-2], series.values[-2]
+        else:
+            earlier = series.at_or_before(t1 - window)
+            if earlier is None or earlier[0] >= t1:
+                t0, v0 = series.times[0], series.values[0]
+            else:
+                t0, v0 = earlier
+        if t1 <= t0:
+            return None
+        increment = v1 - v0 if v1 >= v0 else v1  # reset: count from zero
+        return increment / (t1 - t0)
+
+    def rate_series(self, name: str) -> List[Tuple[float, float]]:
+        """Per-sample instantaneous rates, ``(time, rate)`` pairs."""
+        series = self._series.get(name)
+        if series is None or series.kind != KIND_COUNTER:
+            return []
+        out: List[Tuple[float, float]] = []
+        points = series.points()
+        for (t0, v0), (t1, v1) in zip(points, points[1:]):
+            if t1 > t0:
+                increment = v1 - v0 if v1 >= v0 else v1
+                out.append((t1, increment / (t1 - t0)))
+        return out
+
+    def percentile(
+        self, name: str, q: float, window: Optional[float] = None
+    ) -> Optional[float]:
+        """Quantile of a histogram series from its bucket digests.
+
+        ``window=None`` queries the cumulative (whole-run) digest;
+        otherwise the digest at ``now - window`` is subtracted first so
+        only observations inside the window count.  The result is
+        clamped to the observed maximum (see
+        :func:`repro.obs.registry.bucket_quantile`).
+        """
+        series = self._series.get(name)
+        if series is None or series.kind != KIND_HISTOGRAM or not len(series):
+            return None
+        t_end, (_count, observed_max, counts_end) = (
+            series.times[-1],
+            series.values[-1],
+        )
+        counts = list(counts_end)
+        if window is not None:
+            earlier = series.at_or_before(t_end - window)
+            if earlier is not None and earlier[0] < t_end:
+                _t0, (_c0, _m0, counts_start) = earlier
+                # A bucket below its earlier value was reset; keep the
+                # post-reset cumulative count for it.
+                counts = [
+                    e - s if e >= s else e
+                    for e, s in zip(counts_end, counts_start)
+                ]
+        return bucket_quantile(series.bounds or (), counts, q, observed_max)
+
+    def digest(
+        self,
+        name: str,
+        quantiles: Tuple[float, ...] = (0.50, 0.95, 0.99),
+        window: Optional[float] = None,
+    ) -> Optional[Dict[str, Any]]:
+        """JSON-able percentile digest of one histogram series."""
+        series = self._series.get(name)
+        if series is None or series.kind != KIND_HISTOGRAM or not len(series):
+            return None
+        count, observed_max, _counts = series.values[-1]
+        out: Dict[str, Any] = {"count": count, "max": observed_max}
+        for q in quantiles:
+            out[f"p{round(q * 100):02d}"] = self.percentile(name, q, window)
+        return out
+
+    # Export ----------------------------------------------------------------
+    def summary(self) -> Dict[str, Any]:
+        """Run-record sized description: cadence, volume, eviction."""
+        return {
+            "interval": self.interval,
+            "samples": self.samples_taken,
+            "series": len(self._series),
+            "points": sum(len(s) for s in self._series.values()),
+            "dropped": sum(s.dropped for s in self._series.values()),
+        }
+
+    def to_json(self) -> Dict[str, Any]:
+        """Full deterministic dump: every retained point of every series.
+
+        For a fixed seed two runs produce identical documents (the
+        determinism contract the tests pin byte-for-byte).
+        """
+        series_out: Dict[str, Any] = {}
+        for name in self.names():
+            series = self._series[name]
+            entry: Dict[str, Any] = {
+                "kind": series.kind,
+                "t": list(series.times),
+                "v": [
+                    list(v) if isinstance(v, tuple) else v for v in series.values
+                ],
+                "dropped": series.dropped,
+            }
+            if series.bounds is not None:
+                entry["bounds"] = list(series.bounds)
+            series_out[name] = entry
+        return {"interval": self.interval, "capacity": self.capacity, "series": series_out}
+
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "DEFAULT_INTERVAL",
+    "TimeSeries",
+    "TimeSeriesDB",
+]

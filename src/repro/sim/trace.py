@@ -44,6 +44,14 @@ SPAN_PARENT_KEY = "psid"
 SPAN_BEGIN = "B"
 SPAN_END = "E"
 
+#: Reserved field key of the causal-flow protocol: records (usually span
+#: begins) carrying the same ``flow`` id form one causal chain even when
+#: they were emitted by different hosts — a cluster takeover's
+#: detection → fence → election → resync → resume becomes a single
+#: traversable graph (:meth:`repro.obs.spans.SpanSet.flows`), exported
+#: as Chrome trace-event flow arrows by :mod:`repro.obs.export`.
+FLOW_KEY = "flow"
+
 
 class Tracer:
     """Dispatches trace records to registered sinks, filtered by category.
@@ -61,6 +69,8 @@ class Tracer:
         "enabled",
         "_category_filter",
         "_next_span_id",
+        "_next_flow_id",
+        "current_flow",
     )
 
     def __init__(self) -> None:
@@ -69,6 +79,13 @@ class Tracer:
         self.enabled = False
         self._category_filter: Optional[set] = None
         self._next_span_id = 0
+        self._next_flow_id = 0
+        #: Dynamic causal context: while an event handler participating
+        #: in a causal chain runs, it sets this to the chain's flow id so
+        #: downstream emitters (the arbiter serving a fence request, the
+        #: election triggered inside a takeover) can tag their own spans
+        #: without every call signature threading the id through.
+        self.current_flow: Optional[int] = None
 
     def add_sink(self, sink: Sink, categories: Optional[List[str]] = None) -> None:
         """Register a sink; enables tracing as a side effect."""
@@ -157,6 +174,17 @@ class Tracer:
         fields[SPAN_KEY] = SPAN_END
         fields[SPAN_ID_KEY] = sid
         self.emit(time, category, name, **fields)
+
+    # Causal flows ----------------------------------------------------------
+    def new_flow(self) -> int:
+        """Allocate a causal-chain id (deterministic per-tracer counter).
+
+        Emitters include it as the reserved ``flow`` field on the spans
+        that form the chain; intermediate hops read :attr:`current_flow`
+        instead of threading the id through call signatures.
+        """
+        self._next_flow_id += 1
+        return self._next_flow_id
 
 
 class RecordingSink:

@@ -174,3 +174,128 @@ def test_no_flight_dump_without_env(tmp_path, monkeypatch):
     with pytest.raises(SimulationError):
         run_workload(echo_workload(500), seed=4, deadline=0.15)
     assert list(tmp_path.glob("flight-*.txt")) == []
+
+
+def test_health_command_publishes_scorecard(tmp_path, capsys):
+    out_dir = tmp_path / "health"
+    assert (
+        main(
+            [
+                "health",
+                "--scenario",
+                "smoke",
+                "--no-store",
+                "--out",
+                str(out_dir),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "repro health scorecard" in out
+    assert "## smoke — grade" in out
+    assert "**Overall: PASS**" in out
+    md = (out_dir / "scorecard.md").read_text()
+    assert "takeover-within-budget" in md
+    doc = json.loads((out_dir / "scorecard.json").read_text())
+    assert doc["ok"] is True
+    (scenario,) = doc["scenarios"]
+    assert scenario["name"] == "smoke"
+    assert scenario["grade"] in ("A", "B")
+    assert scenario["causal_chain"]  # the takeover's flow travelled along
+
+
+def test_health_command_stores_content_hashed_scores(tmp_path, capsys):
+    store_path = tmp_path / "results.jsonl"
+    args = [
+        "health",
+        "--scenario",
+        "smoke",
+        "--store",
+        str(store_path),
+        "--out",
+        str(tmp_path / "h"),
+    ]
+    assert main(args) == 0
+    lines = [
+        json.loads(line)
+        for line in store_path.read_text().splitlines()
+        if '"health[' in line
+    ]
+    assert len(lines) == 1
+    assert lines[0]["params"]["scenario"] == "smoke"
+    assert lines[0]["record"]["grade"] in ("A", "B")
+    capsys.readouterr()
+    # A re-run with the same spec dedups on the content hash.
+    assert main(args) == 0
+    lines = [
+        line for line in store_path.read_text().splitlines() if '"health[' in line
+    ]
+    assert len(lines) == 1
+
+
+def test_cluster_scorecard_flag(tmp_path, capsys):
+    out_dir = tmp_path / "sc"
+    assert (
+        main(
+            [
+                "cluster",
+                "--scenario",
+                "smoke",
+                "--no-store",
+                "--scorecard",
+                str(out_dir),
+            ]
+        )
+        == 0
+    )
+    assert (out_dir / "scorecard.md").exists()
+    doc = json.loads((out_dir / "scorecard.json").read_text())
+    assert [s["name"] for s in doc["scenarios"]] == ["smoke"]
+
+
+def test_timeline_scenario_mode(capsys):
+    assert main(["timeline", "--scenario", "smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "cluster scenario 'smoke'" in out
+    assert "failover timeline: client outage" in out  # the crashed pair
+    assert "no takeover on this pair" in out  # the healthy pair
+    assert "phase fence" in out and "phase resync" in out
+
+
+def test_timeline_default_mode_unchanged(capsys):
+    assert main(["timeline", "--exchanges", "30"]) == 0
+    out = capsys.readouterr().out
+    assert "phase detection" in out
+    assert "cluster scenario" not in out
+
+
+def test_failed_cluster_drill_attaches_causal_trace(tmp_path, capsys):
+    """A failing cluster drill leaves the flight dump plus the causal
+    trace (Chrome flow events + chain nodes); single-pair drills don't
+    get the trace file."""
+    script = tmp_path / "t99_cluster_fails.py"
+    script.write_text(
+        "use(mode=\"cluster\", cluster={\n"
+        "    \"name\": \"t99\", \"primaries\": 2, \"backups\": 2,\n"
+        "    \"capacity\": 2,\n"
+        "    \"workload\": {\"exchanges\": 80, \"service_time\": 0.005},\n"
+        "    \"deadline\": 5.0,\n"
+        "})\n"
+        "fault(0.250, \"cluster_crash\", service=\"s0\")\n"
+        "def impossible(env):\n"
+        "    assert False, \"forced failure\"\n"
+        "probe(1.500, impossible, label=\"always fails\")\n"
+    )
+    dumps = tmp_path / "dumps"
+    assert main(["drill", str(script), "--flight-dump", str(dumps)]) == 1
+    capsys.readouterr()
+    assert (dumps / "t99_cluster_fails.flight.txt").exists()
+    trace = dumps / "t99_cluster_fails.trace.json"
+    assert trace.exists()
+    doc = json.loads(trace.read_text())
+    arrows = [e for e in doc["traceEvents"] if e.get("ph") in ("s", "t", "f")]
+    assert arrows  # the takeover chain rendered as flow events
+    (chain,) = doc["causalChains"].values()
+    names = [node["name"] for node in chain]
+    assert names[0] == "takeover_episode" and "fence" in names

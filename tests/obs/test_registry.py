@@ -3,7 +3,13 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    bucket_quantile,
+)
 
 
 class TestInstruments:
@@ -36,9 +42,43 @@ class TestInstruments:
             histogram.observe(0.5)
         histogram.observe(100.0)
         assert histogram.quantile(0.50) == 1.0
-        assert histogram.quantile(1.0) == float("inf")
+        # The overflow bucket reports the observed maximum, never inf.
+        assert histogram.quantile(1.0) == 100.0
         assert histogram.quantile(0.5) is not None
         assert Histogram("empty").quantile(0.5) is None
+
+    def test_empty_histogram_quantile_and_summary(self):
+        histogram = Histogram("empty")
+        assert histogram.quantile(0.99) is None
+        summary = histogram.summary()
+        assert summary["count"] == 0
+        assert summary["p50"] is None and summary["p99"] is None
+        assert summary["min"] is None and summary["max"] is None
+        assert summary["mean"] is None
+
+    def test_single_sample_p99_is_the_sample(self):
+        # One observation of 0.007 lands in the (0.005, 0.01] bucket;
+        # the naive digest answer would be the bucket ceiling 0.01.
+        histogram = Histogram("h")
+        histogram.observe(0.007)
+        assert histogram.quantile(0.99) == pytest.approx(0.007)
+        assert histogram.quantile(0.50) == pytest.approx(0.007)
+        assert histogram.summary()["p99"] == pytest.approx(0.007)
+
+    def test_overflow_only_histogram_reports_max(self):
+        histogram = Histogram("h", bounds=(1.0,))
+        histogram.observe(42.0)
+        histogram.observe(17.0)
+        assert histogram.quantile(0.99) == 42.0
+
+    def test_bucket_quantile_helper_edges(self):
+        assert bucket_quantile((1.0, 2.0), [0, 0, 0], 0.5) is None
+        assert bucket_quantile((1.0, 2.0), [], 0.5) is None
+        # No observed max known: the overflow bucket degrades to inf.
+        assert bucket_quantile((1.0,), [0, 3], 0.99) == float("inf")
+        # Observed max clamps both overflow and in-range buckets.
+        assert bucket_quantile((1.0,), [0, 3], 0.99, observed_max=5.5) == 5.5
+        assert bucket_quantile((1.0,), [3, 0], 0.99, observed_max=0.25) == 0.25
 
     def test_histogram_summary_keys(self):
         histogram = Histogram("h")
@@ -102,6 +142,26 @@ class TestRegistry:
         registry = MetricsRegistry()
         registry.counter("c").value += 4
         assert registry.delta({}) == {"c": 4}
+
+    def test_delta_counter_reset_never_goes_negative(self):
+        # A host teardown mid-interval re-creates instruments from zero;
+        # the delta must report the post-reset count, not claim events
+        # un-happened with a negative number.
+        registry = MetricsRegistry()
+        counter = registry.counter("backup.sttcp.acks_sent")
+        counter.value = 100
+        before = registry.snapshot()
+        counter.value = 3  # reset + 3 post-reset increments
+        assert registry.delta(before) == {"backup.sttcp.acks_sent": 3}
+
+    def test_delta_histogram_reset_never_goes_negative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        histogram.observe(1.0)
+        histogram.observe(2.0)
+        # Baseline claims more observations than the (reset) instrument.
+        delta = registry.delta({"h": {"count": 10}})
+        assert delta == {"h": 2}
 
 
 class TestScope:

@@ -1,6 +1,13 @@
-"""Tests for span assembly: nesting, orphan ends, open spans."""
+"""Tests for span assembly: nesting, orphan ends, open spans, flows."""
 
-from repro.obs.spans import assemble_spans, is_span_record, render_span_tree
+import pytest
+
+from repro.obs.spans import (
+    assemble_spans,
+    causal_chains,
+    is_span_record,
+    render_span_tree,
+)
 from repro.sim.trace import RecordingSink, Tracer
 
 
@@ -93,6 +100,84 @@ class TestDegeneracies:
 
         spans = assemble_spans(_traced(scenario))
         assert [s.name for s in spans.roots] == ["child"]
+
+
+class TestCausalFlows:
+    def _takeover_chain(self, tracer):
+        """A miniature cross-host takeover: backup → arbiter → election,
+        with an instant resume marker terminating the chain."""
+        flow = tracer.new_flow()
+        episode = tracer.begin_span(0.5, "sttcp", "takeover_episode", flow=flow)
+        fence = tracer.begin_span(0.5, "cluster", "fence", host="p0", flow=flow)
+        tracer.end_span(0.51, "cluster", "fence", fence, outcome="fenced")
+        tracer.emit(0.51, "cluster", "election_begin", service="s0", flow=flow)
+        tracer.end_span(0.52, "sttcp", "takeover_episode", episode)
+        tracer.emit(0.521, "failover", "first_ack", flow=flow)
+        # Unrelated traffic must stay out of the chain.
+        tracer.emit(0.522, "tcp", "send", seq=9)
+        return flow
+
+    def test_flows_group_member_spans_in_begin_order(self):
+        records = _traced(self._takeover_chain)
+        spans = assemble_spans(records)
+        chains = spans.flows()
+        assert list(chains) == [1]
+        assert [s.name for s in chains[1]] == ["takeover_episode", "fence"]
+        assert spans.flow_of(1) == chains[1]
+        assert spans.flow_of(99) == []
+
+    def test_flow_ids_are_deterministic(self):
+        tracer = Tracer()
+        assert tracer.new_flow() == 1
+        assert tracer.new_flow() == 2
+
+    def test_causal_chains_merge_spans_and_instants_in_stream_order(self):
+        records = _traced(self._takeover_chain)
+        chains = causal_chains(records)
+        assert list(chains) == [1]
+        nodes = chains[1]
+        assert [(n["kind"], n["name"]) for n in nodes] == [
+            ("span", "takeover_episode"),
+            ("span", "fence"),
+            ("event", "election_begin"),
+            ("event", "first_ack"),
+        ]
+        fence = nodes[1]
+        assert fence["begin"] == 0.5 and fence["duration"] == pytest.approx(0.01)
+        assert nodes[3]["time"] == 0.521
+
+    def test_end_record_can_backfill_the_flow(self):
+        def scenario(tracer):
+            sid = tracer.begin_span(0.0, "cluster", "resync")
+            tracer.end_span(0.1, "cluster", "resync", sid, flow=7)
+
+        spans = assemble_spans(_traced(scenario))
+        assert spans.first("resync").flow == 7
+
+    def test_flow_key_never_leaks_into_span_fields(self):
+        records = _traced(self._takeover_chain)
+        for span in assemble_spans(records).spans:
+            assert "flow" not in span.fields
+
+    def test_real_cluster_run_produces_one_ordered_chain(self):
+        from repro.cluster.scenario import load_scenario
+        from repro.cluster.run import ClusterRun
+        from repro.obs.spans import causal_chains as chains_of
+
+        spec = load_scenario("configs/cluster/smoke.json")
+        run = ClusterRun(spec)
+        record = run.execute()
+        assert record["ok"]
+        chains = chains_of(run.collector.records)
+        assert len(chains) == 1
+        (nodes,) = chains.values()
+        names = [n["name"] for n in nodes]
+        assert names[0] == "takeover_episode"
+        assert "fence" in names and "election_begin" in names
+        assert "resync" in names and names[-1] == "first_ack"
+        # Stream order is causal order: node times never go backwards.
+        times = [n.get("begin", n.get("time")) for n in nodes]
+        assert times == sorted(times)
 
 
 class TestRealRunSpans:

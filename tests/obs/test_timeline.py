@@ -171,3 +171,75 @@ class TestAgainstFigure5Run:
             sum(p.duration for p in failed.timeline.phases)
             - failed.result.max_gap
         ) <= TICK
+
+
+class TestClusterPhases:
+    def _takeover_records(self):
+        return [
+            _rec(0.650, "cluster", "fence_requested", host="p0"),
+            _rec(0.660, "cluster", "fenced", host="p0"),
+            _rec(0.660, "cluster", "election_begin", service="s0"),
+            _rec(0.660, "cluster", "elected", service="s0"),
+            _rec(0.710, "cluster", "shadow_converged", service="s0"),
+            _rec(0.100, "tcp", "send", seq=1),  # hot-path noise, ignored
+        ]
+
+    def test_none_without_cluster_activity(self):
+        from repro.obs.timeline import reconstruct_cluster_phases
+
+        records = [_rec(0.1, "tcp", "send"), _rec(0.2, "app", "progress")]
+        assert reconstruct_cluster_phases(records) is None
+
+    def test_fence_election_resync_windows(self):
+        from repro.obs.timeline import (
+            PHASE_ELECTION,
+            PHASE_FENCE,
+            PHASE_RESYNC,
+            reconstruct_cluster_phases,
+        )
+
+        phases = reconstruct_cluster_phases(self._takeover_records())
+        assert phases is not None
+        assert [p.name for p in phases.phases] == [
+            PHASE_FENCE,
+            PHASE_ELECTION,
+            PHASE_RESYNC,
+        ]
+        fence = phases.phase(PHASE_FENCE)
+        assert (fence.start, fence.end) == (0.650, 0.660)
+        resync = phases.phase(PHASE_RESYNC)
+        assert resync.duration == pytest.approx(0.050)
+        summary = phases.summary()
+        assert set(summary["phases"]) == {"fence", "election", "resync"}
+        assert [0.710, "shadow_converged"] in [
+            list(e) for e in summary["events"]
+        ]
+        assert "phase fence" in phases.render()
+
+    def test_fence_without_actuation_spans_requests(self):
+        from repro.obs.timeline import PHASE_FENCE, reconstruct_cluster_phases
+
+        records = [
+            _rec(0.1, "cluster", "fence_requested", host="p0"),
+            _rec(0.2, "cluster", "fence_requested", host="p1"),
+        ]
+        phases = reconstruct_cluster_phases(records)
+        fence = phases.phase(PHASE_FENCE)
+        assert (fence.start, fence.end) == (0.1, 0.2)
+        assert phases.phase(PHASE_FENCE) is not None
+        assert phases.phase("election") is None
+
+    def test_real_cluster_run_phases_are_ordered(self):
+        from repro.cluster.run import ClusterRun
+        from repro.cluster.scenario import load_scenario
+
+        run = ClusterRun(load_scenario("configs/cluster/smoke.json"))
+        record = run.execute()
+        phases = run.collector.reconstruct_cluster()
+        assert phases is not None
+        summary = record["cluster_phases"]
+        assert summary == phases.summary()
+        fence = summary["phases"]["fence"]
+        resync = summary["phases"]["resync"]
+        assert fence["start"] >= record["crash_at"]
+        assert resync["end"] >= fence["end"]
