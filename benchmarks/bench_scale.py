@@ -3,9 +3,10 @@
 Guards the complexity contract of the indexed backup bookkeeping
 (docs/SCALE.md): per-segment work on the backup is O(changed state), so
 events/sec must not collapse as the connection count grows.  CI runs
-this with ``--benchmark-json`` and gates both the simulator throughput
-(``events_per_sec``) and the workload-level open rate
-(``connections_per_sec``) via ``check_perf_regression.py``.
+this with ``--benchmark-json`` and gates the simulator throughput
+(``events_per_sec``), the datapath segment rate (``segments_per_sec``),
+and the workload-level open rate (``connections_per_sec``) via
+``check_perf_regression.py``.
 """
 
 from __future__ import annotations
@@ -33,8 +34,10 @@ def test_churn_rung_500(benchmark):
         f"\nchurn rung {RUNG}: {record['sim_events']} events, "
         f"{record['total_opens']} opens, "
         f"{record['sim_events'] / mean:,.0f} events/s, "
+        f"{record['sim_segments'] / mean:,.0f} segments/s, "
         f"{record['total_opens'] / mean:,.0f} conns/s"
     )
     benchmark.extra_info["events"] = record["sim_events"]
     benchmark.extra_info["events_per_sec"] = round(record["sim_events"] / mean)
+    benchmark.extra_info["segments_per_sec"] = round(record["sim_segments"] / mean)
     benchmark.extra_info["connections_per_sec"] = round(record["total_opens"] / mean)

@@ -32,9 +32,15 @@ DEFAULT_TOLERANCE = 0.20
 #: Gated ``extra_info`` metrics.  ``events_per_sec`` keeps the bare
 #: benchmark name (the historical key shape); further metrics get a
 #: ``name[metric]`` key so one benchmark can gate several rates —
-#: ``bench_scale.py`` gates both simulator and connection throughput,
-#: ``bench_cluster.py`` adds completed failover pairs per second.
-METRICS = ("events_per_sec", "connections_per_sec", "pairs_per_sec")
+#: ``bench_scale.py`` gates simulator, segment, and connection
+#: throughput, ``bench_cluster.py`` adds completed failover pairs per
+#: second, and ``bench_simcore.py`` gates the segment-pool ingest rate.
+METRICS = (
+    "events_per_sec",
+    "segments_per_sec",
+    "connections_per_sec",
+    "pairs_per_sec",
+)
 
 
 def load_throughputs(bench_json: Path) -> dict:

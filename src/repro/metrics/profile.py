@@ -70,6 +70,32 @@ def _classify(filename: str) -> Optional[str]:
     return None
 
 
+#: Scheduler dispatch loops: a sample landing here is really time spent
+#: *dispatching the current callback* (the call instruction itself, or a
+#: C-level callback with no Python frame of its own).  Each of these
+#: binds the active callback to a named local exactly so the profiler
+#: can attribute the sample to the callback's layer instead of lumping
+#: whole batches into "kernel".
+_DISPATCH_FUNCTIONS = frozenset(
+    {"_drain_ready", "_drain_ready_indexed", "_run_heap_event"}
+)
+
+
+def _callback_attribution(frame: FrameType) -> Optional[Tuple[str, str]]:
+    """(layer, "file:func") for the dispatch frame's active callback."""
+    callback = frame.f_locals.get("callback")
+    if callback is None:
+        return None
+    function = getattr(callback, "__func__", callback)  # unwrap bound methods
+    code = getattr(function, "__code__", None)
+    if code is None:
+        return None
+    layer = _classify(code.co_filename)
+    if layer is None:
+        return None
+    return layer, f"{Path(code.co_filename).name}:{code.co_name}"
+
+
 class SamplingProfiler:
     """Wall-clock stack sampler with per-layer attribution."""
 
@@ -96,10 +122,16 @@ class SamplingProfiler:
             code = walker.f_code
             layer = _classify(code.co_filename)
             if layer is not None:
+                name = f"{Path(code.co_filename).name}:{code.co_name}"
+                if code.co_name in _DISPATCH_FUNCTIONS:
+                    # Batched dispatch: the innermost repro frame is the
+                    # scheduler's drain loop, but the time belongs to the
+                    # callback it is dispatching.
+                    attributed = _callback_attribution(walker)
+                    if attributed is not None:
+                        layer, name = attributed
                 self.layer_samples[layer] += 1
-                self.function_samples[
-                    (layer, f"{Path(code.co_filename).name}:{code.co_name}")
-                ] += 1
+                self.function_samples[(layer, name)] += 1
                 return
             walker = walker.f_back
         self.layer_samples["external"] += 1

@@ -169,6 +169,52 @@ class TCPSegment:
         return f"<TCP {self.src_port}->{self.dst_port} {self.summary()}>"
 
 
+class SegmentTemplate:
+    """Per-connection invariant header fields, precomputed once.
+
+    The ports (and the timestamp-option decision) never change over a
+    connection's lifetime, and the output engine produces every variant
+    field already validated — ``wrap`` folds seq/ack into 32-bit space
+    and the advertised window is clamped at the source — so
+    :meth:`build` constructs segments with direct slot assignment,
+    skipping ``TCPSegment.__init__``'s range checks.  The object arm
+    keeps the checked constructor as the reference; both produce
+    field-identical segments (same ``segment_id`` counter, same wire
+    rendering).
+    """
+
+    __slots__ = ("src_port", "dst_port")
+
+    def __init__(self, src_port: int, dst_port: int) -> None:
+        self.src_port = src_port
+        self.dst_port = dst_port
+
+    def build(
+        self,
+        seq: int,
+        ack: int,
+        flags: int,
+        window: int,
+        payload: ByteSpan = EMPTY,
+        mss_option: Optional[int] = None,
+        ts_val: Optional[float] = None,
+        ts_ecr: Optional[float] = None,
+    ) -> TCPSegment:
+        segment = TCPSegment.__new__(TCPSegment)
+        segment.src_port = self.src_port
+        segment.dst_port = self.dst_port
+        segment.seq = seq
+        segment.ack = ack
+        segment.flags = flags
+        segment.window = window
+        segment.payload = payload
+        segment.mss_option = mss_option
+        segment.ts_val = ts_val
+        segment.ts_ecr = ts_ecr
+        segment.segment_id = next(_segment_ids)
+        return segment
+
+
 def make_rst(src_port: int, dst_port: int, seq: int, ack: int, with_ack: bool) -> TCPSegment:
     """Build the RST answering an unmatched segment (RFC 793 §3.4)."""
     flags = FLAG_RST | (FLAG_ACK if with_ack else 0)
@@ -177,6 +223,7 @@ def make_rst(src_port: int, dst_port: int, seq: int, ack: int, with_ack: bool) -
 
 __all__ = [
     "MSS_OPTION_SIZE",
+    "SegmentTemplate",
     "TCPSegment",
     "TIMESTAMP_OPTION_SIZE",
     "make_rst",

@@ -2,13 +2,22 @@
 
 Offsets are *stream offsets*: byte 0 is the first application byte on the
 connection (sequence number ISS+1).  The TCB owns the seq↔offset mapping.
+
+Under ``REPRO_DATAPATH=batch`` real payload bytes are ingested into the
+shared :class:`~repro.net.segment_pool.SegmentPool` — copied once into a
+slab, then carried as ``memoryview`` spans through segmentation,
+retransmission and delivery with no further copies.  The object arm
+keeps the fresh-:class:`~repro.util.bytespan.RealBytes` path as the
+bit-exact reference (content-equal spans, so nothing observable moves).
 """
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Optional, Union
 
-from repro.util.bytespan import ByteSpan, as_span
+from repro.net.segment_pool import SegmentPool, default_pool
+from repro.sim.datapath import batch_enabled
+from repro.util.bytespan import ByteSpan, CatBytes, RealBytes, as_span
 from repro.util.spanbuffer import SpanBuffer
 
 
@@ -20,6 +29,8 @@ class SendBuffer:
             raise ValueError(f"send buffer capacity must be positive, got {capacity}")
         self.capacity = capacity
         self._data = SpanBuffer()
+        # Datapath arm, read at construction (see repro.sim.datapath).
+        self._pool: Optional[SegmentPool] = default_pool() if batch_enabled() else None
 
     # Occupancy -----------------------------------------------------------------
     @property
@@ -44,8 +55,23 @@ class SendBuffer:
         """Append as much of ``data`` as fits; returns bytes accepted."""
         span = as_span(data)
         accepted = min(len(span), self.free_space)
-        if accepted > 0:
-            self._data.append(span.slice(0, accepted))
+        if accepted <= 0:
+            return 0
+        if accepted != len(span):
+            span = span.slice(0, accepted)
+        # Concatenations (the app protocol's RealBytes header + synthetic
+        # padding) are split into their leaves on BOTH arms so the buffer
+        # layout — and with it ``bytes_per_tcb`` — stays arm-invariant.
+        parts = span.parts if isinstance(span, CatBytes) else (span,)
+        pool = self._pool
+        for part in parts:
+            if pool is not None and isinstance(part, RealBytes):
+                # Batch arm: real bytes go through the pool (one copy
+                # into a slab; every later slice is a zero-copy
+                # memoryview).  Synthetic spans are already O(1) and
+                # pass through unchanged on both arms.
+                part = pool.ingest(part.data)
+            self._data.append(part)
         return accepted
 
     def ack_to(self, offset: int) -> int:

@@ -10,6 +10,7 @@ from repro.errors import ReproError
 from repro.metrics import profile
 from repro.metrics.profile import SamplingProfiler, _classify
 from repro.sim.scheduler import Scheduler
+from repro.tcp.seqspace import wrap
 
 
 def test_classify_maps_paths_to_layers():
@@ -102,3 +103,69 @@ def test_empty_profile_reports_cleanly():
     assert report["samples"] == 0
     assert report["layers"] == {}
     assert "no samples" in profiler.summary()
+
+
+# -- batched-dispatch attribution ------------------------------------------
+
+
+class FakeCode:
+    def __init__(self, filename, name):
+        self.co_filename = filename
+        self.co_name = name
+
+
+class FakeFrame:
+    """Duck-typed frame: _sample touches f_code, f_locals and f_back only."""
+
+    def __init__(self, code, f_locals=None, back=None):
+        self.f_code = code
+        self.f_locals = f_locals or {}
+        self.f_back = back
+
+
+_DRAIN_CODE = FakeCode("/x/src/repro/sim/scheduler.py", "_drain_ready")
+
+
+def test_drain_loop_sample_attributed_to_active_callback():
+    # A sample landing on the drain loop's dispatch line belongs to the
+    # callback being dispatched (here a repro.tcp function), not to the
+    # kernel layer the scheduler frame would classify as.
+    profiler = SamplingProfiler()
+    frame = FakeFrame(_DRAIN_CODE, {"callback": wrap})
+    profiler._sample(0, frame)
+    assert profiler.layer_samples == {"tcp": 1}
+    assert profiler.function_samples == {("tcp", "seqspace.py:wrap"): 1}
+
+
+def test_drain_loop_sample_without_resolvable_callback_stays_kernel():
+    profiler = SamplingProfiler()
+    # No callback local (e.g. sampled during wheel maintenance).
+    profiler._sample(0, FakeFrame(_DRAIN_CODE))
+    # A C-level callback has no __code__ to classify.
+    profiler._sample(0, FakeFrame(_DRAIN_CODE, {"callback": len}))
+    # A non-repro callback classifies to None and keeps kernel credit.
+    profiler._sample(0, FakeFrame(_DRAIN_CODE, {"callback": json.loads}))
+    assert profiler.layer_samples == {"kernel": 3}
+    assert all(layer == "kernel" for layer, _ in profiler.function_samples)
+
+
+def test_dispatch_attribution_unwraps_bound_methods():
+    profiler = SamplingProfiler()
+    sched = Scheduler()
+    frame = FakeFrame(
+        FakeCode("/x/src/repro/sim/scheduler.py", "_run_heap_event"),
+        {"callback": sched.run_next},  # bound method of a kernel object
+    )
+    profiler._sample(0, frame)
+    assert profiler.layer_samples == {"kernel": 1}
+    assert profiler.function_samples == {("kernel", "scheduler.py:run_next"): 1}
+
+
+def test_non_dispatch_kernel_frames_keep_their_own_credit():
+    profiler = SamplingProfiler()
+    frame = FakeFrame(
+        FakeCode("/x/src/repro/sim/scheduler.py", "_advance"),
+        {"callback": wrap},  # irrelevant: not a dispatch function
+    )
+    profiler._sample(0, frame)
+    assert profiler.function_samples == {("kernel", "scheduler.py:_advance"): 1}

@@ -1,0 +1,195 @@
+"""SegmentPool lifecycle: refcounted slab reuse never aliases a payload.
+
+The pool's ownership rule — a slab returns to the free list only when
+its last span dies — is what makes zero-copy safe.  The hypothesis
+suite drives random interleavings of ingest / slice / release with a
+fresh-``bytes`` oracle per payload and asserts every *live* span still
+reads its original content, no matter how many dead spans' slabs were
+reused underneath it.
+"""
+
+import gc
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.segment_pool import (
+    MAX_FREE_SLABS,
+    SLAB_SIZE,
+    PooledBytes,
+    SegmentPool,
+    default_pool,
+    reset_default_pool,
+)
+from repro.util.bytespan import EMPTY, RealBytes, span_equal
+
+
+def _payload(rng_byte: int, length: int) -> bytes:
+    return bytes((rng_byte + i) & 0xFF for i in range(length))
+
+
+# -- basics -----------------------------------------------------------------
+def test_ingest_roundtrip():
+    pool = SegmentPool()
+    span = pool.ingest(b"hello world")
+    assert isinstance(span, PooledBytes)
+    assert len(span) == 11
+    assert span.to_bytes() == b"hello world"
+    assert span_equal(span, RealBytes(b"hello world"))
+
+
+def test_ingest_empty_returns_canonical_empty():
+    pool = SegmentPool()
+    assert pool.ingest(b"") is EMPTY
+    assert pool.segments_pooled == 0
+
+
+def test_slice_is_zero_copy_view():
+    pool = SegmentPool()
+    span = pool.ingest(bytes(range(100)))
+    part = span.slice(10, 20)
+    assert isinstance(part, PooledBytes)
+    assert part.to_bytes() == bytes(range(10, 20))
+    # Sub-slices keep slicing (retransmit-of-a-retransmit shape).
+    assert part.slice(2, 5).to_bytes() == bytes(range(12, 15))
+
+
+def test_slice_bounds_checked():
+    pool = SegmentPool()
+    span = pool.ingest(b"abc")
+    with pytest.raises(IndexError):
+        span.slice(0, 4)
+    with pytest.raises(IndexError):
+        span.slice(2, 1)
+
+
+def test_ingest_accepts_memoryview_and_bytearray():
+    pool = SegmentPool()
+    assert pool.ingest(memoryview(b"abcdef")[1:4]).to_bytes() == b"bcd"
+    assert pool.ingest(bytearray(b"xyz")).to_bytes() == b"xyz"
+
+
+# -- slab lifecycle ---------------------------------------------------------
+def test_slab_returns_to_free_list_when_last_span_dies():
+    pool = SegmentPool(slab_size=1024, max_free=4)
+    span = pool.ingest(b"a" * 100)
+    extra = span.slice(0, 50)
+    # Force a new current slab so the first one's only keepalive is the
+    # spans themselves.
+    pool.ingest(b"b" * 1000)
+    assert pool.free_slabs() == 0
+    del span
+    gc.collect()
+    assert pool.free_slabs() == 0  # `extra` still holds the slab
+    del extra
+    gc.collect()
+    assert pool.free_slabs() == 1
+
+
+def test_freed_slab_is_reused():
+    pool = SegmentPool(slab_size=512, max_free=4)
+    span = pool.ingest(b"x" * 400)
+    del span
+    pool.ingest(b"y" * 400)  # retires the first slab to the free list
+    gc.collect()
+    before = pool.slabs_reused
+    pool.ingest(b"z" * 400)  # needs a fresh slab: must come from the free list
+    assert pool.slabs_reused == before + 1
+
+
+def test_oversized_payload_gets_dedicated_slab():
+    pool = SegmentPool(slab_size=64, max_free=4)
+    big = _payload(7, 1000)
+    span = pool.ingest(big)
+    assert span.to_bytes() == big
+    misses_before = pool.pool_misses
+    del span
+    gc.collect()
+    # The dedicated slab is dropped, never pooled: the free list only
+    # holds slab_size slabs.
+    assert pool.free_slabs() == 0
+    assert pool.pool_misses == misses_before
+
+
+def test_free_list_is_bounded():
+    pool = SegmentPool(slab_size=128, max_free=2)
+    for round_ in range(6):
+        span = pool.ingest(bytes(100))
+        del span
+        # Force retirement of the current slab each round.
+        keeper = pool.ingest(bytes(120))
+        del keeper
+        gc.collect()
+    assert pool.free_slabs() <= 2
+
+
+def test_default_pool_reset():
+    pool = default_pool()
+    pool.ingest(b"seed")
+    assert default_pool() is pool
+    reset_default_pool()
+    fresh = default_pool()
+    assert fresh is not pool
+    assert fresh.segments_pooled == 0
+    assert fresh.slab_size == SLAB_SIZE
+    assert fresh.max_free == MAX_FREE_SLABS
+
+
+# -- the aliasing property --------------------------------------------------
+@settings(max_examples=200, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(0, 255),  # payload seed byte
+            st.integers(1, 300),  # payload length
+            st.integers(0, 7),  # which live span to release (mod len)
+            st.booleans(),  # take a slice of the new span?
+        ),
+        min_size=1,
+        max_size=60,
+    ),
+    slab_size=st.sampled_from([64, 256, 1024]),
+)
+def test_reuse_never_aliases_live_payloads(ops, slab_size):
+    """Random ingest/slice/release interleavings: every live span always
+    reads exactly what the fresh-bytes oracle says it holds, even while
+    dead spans' slabs cycle through the free list under it."""
+    pool = SegmentPool(slab_size=slab_size, max_free=4)
+    live = []  # (span, oracle bytes)
+    for seed, length, victim, take_slice in ops:
+        data = _payload(seed, length)
+        span = pool.ingest(data)
+        live.append((span, data))
+        if take_slice and length >= 2:
+            start, stop = length // 4, length // 4 + length // 2
+            live.append((span.slice(start, stop), data[start:stop]))
+        if len(live) > 4:
+            live.pop(victim % len(live))  # drop a span: its slab may recycle
+        for span_i, oracle in live:
+            assert span_i.to_bytes() == oracle
+    # Release everything: the pool ends with only bounded free slabs.
+    live.clear()
+    gc.collect()
+    assert pool.free_slabs() <= 4
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    lengths=st.lists(st.integers(1, 2000), min_size=1, max_size=30),
+    slab_size=st.sampled_from([128, 512]),
+)
+def test_exhaustion_grows_then_recycles(lengths, slab_size):
+    """With no free slabs the pool grows (pool_misses); once spans die,
+    steady state is served from the free list, bounded by max_free."""
+    pool = SegmentPool(slab_size=slab_size, max_free=3)
+    spans = [pool.ingest(bytes(n % 251 for _ in range(n))) for n in lengths]
+    pooled = sum(1 for n in lengths if n > 0)
+    assert pool.segments_pooled == pooled
+    # Growth happened: at least one slab had to be allocated fresh.
+    assert pool.pool_misses >= 1
+    for span, n in zip(spans, lengths):
+        assert len(span) == n
+    spans.clear()
+    gc.collect()
+    assert pool.free_slabs() <= 3

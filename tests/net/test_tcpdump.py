@@ -1,6 +1,19 @@
 """Tests for the tcpdump-style trace renderer."""
 
-from repro.net.tcpdump import PacketDump, format_segment
+import os
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.addresses import IPAddress
+from repro.net.tcpdump import (
+    PacketDump,
+    _checksum,
+    _checksum_reference,
+    format_segment,
+    segment_to_bytes,
+)
+from repro.sim.datapath import DATAPATH_ENV
 from repro.sim.simulator import Simulator
 from repro.tcp.constants import FLAG_ACK, FLAG_PSH, FLAG_SYN
 from repro.tcp.segment import TCPSegment
@@ -66,6 +79,57 @@ def test_packet_dump_detach_restores_handler():
     dump.detach_all()
     run_echo_once(lan)  # traffic still flows normally
     assert lines == []
+
+
+@settings(max_examples=300, deadline=None)
+@given(data=st.binary(min_size=0, max_size=400))
+def test_checksum_fast_matches_rfc1071_reference(data):
+    """The mod-65535 big-int identity gives the same ones-complement
+    checksum as the RFC 1071 word loop for every buffer."""
+    assert _checksum(data) == _checksum_reference(data)
+
+
+def _wire_both_arms(segment, src_ip, dst_ip):
+    """Serialise the segment under both REPRO_DATAPATH arms."""
+    saved = os.environ.get(DATAPATH_ENV)
+    try:
+        os.environ.pop(DATAPATH_ENV, None)
+        fast = segment_to_bytes(segment, src_ip, dst_ip)
+        os.environ[DATAPATH_ENV] = "object"
+        reference = segment_to_bytes(segment, src_ip, dst_ip)
+    finally:
+        if saved is None:
+            os.environ.pop(DATAPATH_ENV, None)
+        else:
+            os.environ[DATAPATH_ENV] = saved
+    return fast, reference
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    src_port=st.integers(1, 0xFFFF),
+    dst_port=st.integers(1, 0xFFFF),
+    seq=st.integers(0, 0xFFFFFFFF),
+    ack=st.integers(0, 0xFFFFFFFF),
+    flags=st.integers(0, 0x3F),
+    window=st.integers(0, 0xFFFF),
+    payload=st.binary(min_size=0, max_size=200),
+    mss=st.one_of(st.none(), st.integers(536, 9000)),
+    ip_pair=st.tuples(st.integers(1, 0xFFFFFFFE), st.integers(1, 0xFFFFFFFE)),
+)
+def test_wire_bytes_identical_across_datapath_arms(
+    src_port, dst_port, seq, ack, flags, window, payload, mss, ip_pair
+):
+    """The cached-prefix incremental serialiser and the full-pack
+    reference produce byte-identical wire output (header, options,
+    checksum, payload) for arbitrary segments and address pairs."""
+    segment = TCPSegment(
+        src_port, dst_port, seq, ack, flags, window,
+        RealBytes(payload), mss_option=mss,
+    )
+    src_ip, dst_ip = IPAddress(ip_pair[0]), IPAddress(ip_pair[1])
+    fast, reference = _wire_both_arms(segment, src_ip, dst_ip)
+    assert fast == reference
 
 
 def test_udp_rendering():
